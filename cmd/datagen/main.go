@@ -1,0 +1,67 @@
+// Command datagen generates synthetic geospatial datasets (UK/US-like
+// geo-tagged tweets, SG-like POIs) and writes them as CSV or JSON lines.
+//
+// Usage:
+//
+//	datagen -preset uk -n 100000 -seed 1 -format csv -o uk.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"geosel/internal/dataset"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "uk", "dataset preset: uk, us or poi")
+		n      = flag.Int("n", 100000, "number of objects")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		format = flag.String("format", "csv", "output format: csv, jsonl or binary")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*preset, *n, *seed, *format, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, n int, seed int64, format, out string) error {
+	var spec dataset.Spec
+	switch preset {
+	case "uk":
+		spec = dataset.UKSpec(n, seed)
+	case "us":
+		spec = dataset.USSpec(n, seed)
+	case "poi":
+		spec = dataset.POISpec(n, seed)
+	default:
+		return fmt.Errorf("unknown preset %q (want uk, us or poi)", preset)
+	}
+	col, err := dataset.Generate(spec)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		return dataset.WriteCSV(w, col)
+	case "jsonl":
+		return dataset.WriteJSONL(w, col)
+	case "binary":
+		return dataset.WriteBinary(w, col)
+	default:
+		return fmt.Errorf("unknown format %q (want csv, jsonl or binary)", format)
+	}
+}

@@ -1,0 +1,89 @@
+// Command geoselserver serves the selection library over HTTP+JSON.
+//
+// Usage:
+//
+//	geoselserver -data pois.csv -addr :8080
+//	geoselserver -preset uk -n 100000 -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	POST /select                      one-shot sos selection
+//	POST /sessions                    create an interactive session
+//	POST /sessions/{id}/start         begin at a region
+//	POST /sessions/{id}/zoomin        navigate (consistency-aware)
+//	POST /sessions/{id}/zoomout
+//	POST /sessions/{id}/pan
+//	POST /sessions/{id}/prefetch      warm the next operation
+//	DELETE /sessions/{id}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"geosel/internal/dataset"
+	"geosel/internal/geodata"
+	"geosel/internal/server"
+	"geosel/internal/sim"
+)
+
+func main() {
+	var (
+		data   = flag.String("data", "", "dataset file (CSV, JSONL or binary snapshot); empty = generate a preset")
+		preset = flag.String("preset", "poi", "preset when generating: uk, us or poi")
+		n      = flag.Int("n", 50000, "generated dataset size")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		addr   = flag.String("addr", ":8080", "listen address")
+		tfidf  = flag.Bool("tfidf", false, "apply TF-IDF reweighting to the term vectors")
+	)
+	flag.Parse()
+
+	col, err := load(*data, *preset, *n, *seed)
+	if err != nil {
+		log.Fatal("geoselserver: ", err)
+	}
+	if *tfidf {
+		col.ApplyTFIDF()
+	}
+	store, err := geodata.NewStore(col)
+	if err != nil {
+		log.Fatal("geoselserver: ", err)
+	}
+	srv, err := server.New(store, sim.Cosine{})
+	if err != nil {
+		log.Fatal("geoselserver: ", err)
+	}
+	log.Printf("serving %d objects on %s", store.Len(), *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(httpServer.ListenAndServe())
+}
+
+func load(data, preset string, n int, seed int64) (*geodata.Collection, error) {
+	if data != "" {
+		f, err := os.Open(data)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadAuto(f)
+	}
+	switch preset {
+	case "uk":
+		return dataset.Generate(dataset.UKSpec(n, seed))
+	case "us":
+		return dataset.Generate(dataset.USSpec(n, seed))
+	case "poi":
+		return dataset.Generate(dataset.POISpec(n, seed))
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+}

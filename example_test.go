@@ -1,0 +1,99 @@
+package geosel_test
+
+import (
+	"fmt"
+	"log"
+
+	"geosel"
+)
+
+// ExampleSelect shows the one-shot sos selection: four POIs compete for
+// two pins; the two distinct clusters each get one.
+func ExampleSelect() {
+	col := geosel.NewCollection()
+	col.Add(1, geosel.Pt(0.20, 0.20), 1, "coffee roastery")
+	col.Add(2, geosel.Pt(0.21, 0.21), 1, "espresso coffee bar")
+	col.Add(3, geosel.Pt(0.80, 0.80), 1, "modern art museum")
+	col.Add(4, geosel.Pt(0.81, 0.81), 1, "museum of sculpture")
+	store, err := geosel.NewStore(col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := geosel.Select(store, geosel.RectAround(geosel.Pt(0.5, 0.5), 0.5), geosel.Options{
+		K:      2,
+		Theta:  0.1,
+		Metric: geosel.Cosine(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kinds := map[bool]int{}
+	for _, p := range res.Positions {
+		kinds[col.Objects[p].ID <= 2]++
+	}
+	fmt.Printf("%d pins: %d coffee, %d museum\n", len(res.Positions), kinds[true], kinds[false])
+	// Output: 2 pins: 1 coffee, 1 museum
+}
+
+// ExampleRepresentatives shows the exploration index of the paper's
+// Figure 1(c): each hidden object maps to the pin that represents it.
+func ExampleRepresentatives() {
+	col := geosel.NewCollection()
+	col.Add(1, geosel.Pt(0.1, 0.1), 1, "pizza napoli")
+	col.Add(2, geosel.Pt(0.9, 0.9), 1, "sushi bar")
+	col.Add(3, geosel.Pt(0.2, 0.1), 1, "pizza margherita")
+	pins := []int{0, 1} // positions of the displayed objects
+	rep := geosel.Representatives(col.Objects, pins, geosel.Cosine())
+	fmt.Printf("object id=3 is represented by pin id=%d\n", col.Objects[rep[2]].ID)
+	// Output: object id=3 is represented by pin id=1
+}
+
+// ExampleSession walks one interactive exploration: start, zoom in
+// (consistency keeps the surviving pin), and back.
+func ExampleSession() {
+	col := geosel.NewCollection()
+	for i := 0; i < 100; i++ {
+		x := 0.3 + float64(i%10)*0.045
+		y := 0.3 + float64(i/10)*0.045
+		col.Add(i, geosel.Pt(x, y), 1, fmt.Sprintf("poi t%d", i%7))
+	}
+	store, err := geosel.NewStore(col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := geosel.NewSession(store, geosel.SessionConfig{
+		K: 5, ThetaFrac: 0.01, Metric: geosel.Cosine(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.25)
+	start, err := sess.Start(region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inner := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.12)
+	zoomed, err := sess.ZoomIn(inner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Zooming consistency: every previously visible pin inside the new
+	// window is still displayed.
+	consistent := true
+	vis := map[int]bool{}
+	for _, p := range zoomed.Positions {
+		vis[p] = true
+	}
+	for _, p := range start.Positions {
+		if inner.Contains(col.Objects[p].Loc) && !vis[p] {
+			consistent = false
+		}
+	}
+	back, err := sess.Back()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("start=%d pins, zoomed=%d pins, consistent=%v, back=%d pins\n",
+		len(start.Positions), len(zoomed.Positions), consistent, len(back.Positions))
+	// Output: start=5 pins, zoomed=5 pins, consistent=true, back=5 pins
+}

@@ -1,0 +1,70 @@
+// methodgallery regenerates the panels of the paper's Figure 6: the
+// same 500-object pool selected by each of the six methods (Greedy,
+// Random, MaxMin, MaxSum, DisC, K-means), written as SVG files so the
+// spatial character of each method is visible at a glance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"geosel"
+	"geosel/internal/experiments"
+	"geosel/internal/viz"
+)
+
+func main() {
+	outDir := "gallery"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	env := experiments.NewEnv(experiments.Config{
+		UKSize: 30000, USSize: 1, POISize: 1, Queries: 1, Seed: 6,
+	})
+	objs, sels, order, err := env.MethodGallery("fig6")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Frame: the pool's bounding box, slightly padded.
+	var region geosel.Rect
+	if len(objs) > 0 {
+		region = geosel.Rect{Min: objs[0].Loc, Max: objs[0].Loc}
+		for i := range objs {
+			region = region.Union(geosel.Rect{Min: objs[i].Loc, Max: objs[i].Loc})
+		}
+		region = region.Expand(region.Width() * 0.03)
+	}
+
+	// Panel (a): all objects, no selection.
+	if err := writePanel(filepath.Join(outDir, "0-all-objects.svg"),
+		objs, nil, region, "All objects (Figure 6a)"); err != nil {
+		log.Fatal(err)
+	}
+
+	for i, method := range order {
+		sel := sels[method]
+		score := geosel.Score(objs, sel, geosel.EuclideanProximity(region.Width()/4))
+		name := fmt.Sprintf("%d-%s.svg", i+1, method)
+		title := fmt.Sprintf("%s — %d pins, RP score %.3f", method, len(sel), score)
+		if err := writePanel(filepath.Join(outDir, name), objs, sel, region, title); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d SVG panels to %s/\n", len(order)+1, outDir)
+}
+
+func writePanel(path string, objs []geosel.Object, sel []int, region geosel.Rect, title string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return viz.WriteSVG(f, objs, sel, region, viz.SVGOptions{Title: title})
+}

@@ -1,0 +1,101 @@
+// poiexplorer simulates the paper's motivating scenario end to end: a
+// user explores a dense POI dataset on a map, zooming and panning,
+// while the session keeps the displayed pins representative, readable
+// (visibility constraint) and consistent across operations — with
+// prefetching hiding the selection latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geosel"
+	"geosel/internal/dataset"
+	"geosel/internal/viz"
+)
+
+func main() {
+	// A Singapore-like POI dataset (synthetic; see internal/dataset).
+	store, err := dataset.GenerateStore(dataset.POISpec(60000, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := store.Collection()
+
+	sess, err := geosel.NewSession(store, geosel.SessionConfig{
+		K:            12,
+		ThetaFrac:    0.02,
+		Metric:       geosel.Cosine(),
+		TilesPerSide: 16, // tiled prefetch bounds
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(step string, sel *geosel.Selection) {
+		vp := sess.Viewport()
+		fmt.Printf("== %s: region %v (zoom level %.1f)\n", step, vp.Region, vp.Level)
+		fmt.Printf("   %d objects in view, %d pins (forced %d), score %.3f, response %v, prefetched=%v\n",
+			sel.RegionObjects, len(sel.Positions), sel.ForcedCount, sel.Score, sel.Elapsed, sel.Prefetched)
+		fmt.Println(viz.ASCIIMap(col.Objects, sel.Positions, vp.Region, 64, 16))
+	}
+
+	// 1. Open the map on the city center.
+	region := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.15)
+	sel, err := sess.Start(region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("start", sel)
+
+	// 2. While the user looks around, prefetch bounds for whatever they
+	//    do next.
+	if err := sess.Prefetch(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Zoom into the north-east quadrant. Pins that stay in view MUST
+	//    remain (zooming consistency).
+	before := sess.Visible()
+	inner := geosel.RectAround(geosel.Pt(0.55, 0.55), 0.075)
+	sel, err = sess.ZoomIn(inner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("zoom-in", sel)
+	kept := 0
+	vis := map[int]bool{}
+	for _, p := range sel.Positions {
+		vis[p] = true
+	}
+	for _, p := range before {
+		if inner.Contains(col.Objects[p].Loc) {
+			if !vis[p] {
+				log.Fatalf("zooming consistency violated for object %d", p)
+			}
+			kept++
+		}
+	}
+	fmt.Printf("   consistency: %d previously visible pins kept\n\n", kept)
+
+	// 4. Pan east; pins in the overlap stay put (panning consistency).
+	if err := sess.Prefetch(); err != nil {
+		log.Fatal(err)
+	}
+	sel, err = sess.Pan(geosel.Pt(0.05, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("pan east", sel)
+
+	// 5. Zoom back out.
+	if err := sess.Prefetch(); err != nil {
+		log.Fatal(err)
+	}
+	outer := sess.Viewport().Region.ScaleAroundCenter(2)
+	sel, err = sess.ZoomOut(outer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("zoom-out", sel)
+}

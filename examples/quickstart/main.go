@@ -1,0 +1,75 @@
+// Quickstart: build a small collection, index it, and select a handful
+// of representative, mutually visible objects for a map region using
+// the public geosel API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geosel"
+)
+
+func main() {
+	// A toy city: coffee shops cluster downtown, museums near the park,
+	// one lonely lighthouse.
+	col := geosel.NewCollection()
+	pois := []struct {
+		id   int
+		x, y float64
+		w    float64
+		text string
+	}{
+		{1, 0.42, 0.40, 0.9, "espresso bar downtown coffee"},
+		{2, 0.43, 0.41, 0.6, "specialty coffee roastery"},
+		{3, 0.44, 0.40, 0.5, "coffee and pastries"},
+		{4, 0.41, 0.42, 0.4, "drip coffee corner"},
+		{5, 0.60, 0.62, 0.8, "modern art museum"},
+		{6, 0.61, 0.63, 0.7, "natural history museum"},
+		{7, 0.62, 0.61, 0.5, "museum of design"},
+		{8, 0.90, 0.15, 1.0, "historic lighthouse viewpoint"},
+		{9, 0.30, 0.70, 0.6, "botanical garden park"},
+		{10, 0.31, 0.71, 0.4, "rose garden park"},
+	}
+	for _, p := range pois {
+		col.Add(p.id, geosel.Pt(p.x, p.y), p.w, p.text)
+	}
+
+	store, err := geosel.NewStore(col)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Select 4 representatives for the whole map; no two may be closer
+	// than 0.05 so the pins stay readable.
+	region := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.5)
+	res, err := geosel.Select(store, region, geosel.Options{
+		K:      4,
+		Theta:  0.05,
+		Metric: geosel.Cosine(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("selected %d of %d objects (representative score %.3f):\n",
+		len(res.Positions), res.RegionObjects, res.Score)
+	for _, p := range res.Positions {
+		o := &col.Objects[p]
+		fmt.Printf("  pin id=%d at %v — %q\n", o.ID, o.Loc, o.Text)
+	}
+
+	// The exploration feature of the paper's Figure 1(c): clicking a pin
+	// highlights the hidden objects it represents.
+	rep := geosel.Representatives(col.Objects, res.Positions, geosel.Cosine())
+	fmt.Println("\nhidden objects behind each pin:")
+	for _, p := range res.Positions {
+		fmt.Printf("  id=%d:", col.Objects[p].ID)
+		for i, r := range rep {
+			if r == p && i != p {
+				fmt.Printf(" id=%d", col.Objects[i].ID)
+			}
+		}
+		fmt.Println()
+	}
+}

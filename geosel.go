@@ -1,0 +1,244 @@
+// Package geosel is a library for selecting small, representative,
+// mutually visible subsets of large geospatial datasets for map display,
+// and for keeping those selections consistent while a user zooms and
+// pans — an implementation of Guo, Feng, Cong and Bao, "Efficient
+// Selection of Geospatial Data on Maps for Interactive and Visualized
+// Exploration" (SIGMOD 2018).
+//
+// The package is a facade over the implementation packages. The typical
+// flow:
+//
+//	col := geosel.NewCollection()
+//	col.Add(id, geosel.Pt(x, y), weight, "text ...")
+//	store, _ := geosel.NewStore(col)
+//
+//	// One-shot selection for a map region (the sos problem):
+//	res, _ := geosel.Select(store, region, geosel.Options{
+//		K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine(),
+//	})
+//
+//	// Interactive exploration (the isos problem):
+//	sess, _ := geosel.NewSession(store, geosel.SessionConfig{
+//		K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine(),
+//	})
+//	sess.Start(region)
+//	sess.Prefetch()          // while the user inspects the view
+//	sess.ZoomIn(subRegion)   // consistency-aware, prefetch-accelerated
+package geosel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geosel/internal/core"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/isos"
+	"geosel/internal/sampling"
+	"geosel/internal/sim"
+)
+
+// Geometric types.
+type (
+	// Point is a location in the normalized world plane.
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle (a map region).
+	Rect = geo.Rect
+	// Viewport is a displayed region with its zoom level.
+	Viewport = geo.Viewport
+	// LonLat is a geodetic coordinate; project with Mercator.
+	LonLat = geo.LonLat
+)
+
+// Data model.
+type (
+	// Object is one geospatial record ⟨location, weight, attributes⟩.
+	Object = geodata.Object
+	// Collection is an ordered set of objects sharing a vocabulary.
+	Collection = geodata.Collection
+	// Store indexes a collection for region queries.
+	Store = geodata.Store
+)
+
+// Metric scores the similarity of two objects in [0, 1].
+type Metric = sim.Metric
+
+// SessionConfig configures an interactive session; see isos.Config.
+type SessionConfig = isos.Config
+
+// Session is an interactive, consistency-aware exploration.
+type Session = isos.Session
+
+// Selection is the result of one interactive selection round.
+type Selection = isos.Selection
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// RectAround returns the square of half-side half centered at c.
+func RectAround(c Point, half float64) Rect { return geo.RectAround(c, half) }
+
+// Mercator projects longitude/latitude onto the unit square.
+func Mercator(ll LonLat) Point { return geo.Mercator(ll) }
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection { return geodata.NewCollection() }
+
+// NewStore indexes a collection for region queries.
+func NewStore(col *Collection) (*Store, error) { return geodata.NewStore(col) }
+
+// Cosine returns the keyword-vector cosine similarity metric.
+func Cosine() Metric { return sim.Cosine{} }
+
+// EuclideanProximity returns the spatial metric 1 - dist/maxDist.
+func EuclideanProximity(maxDist float64) Metric {
+	return sim.EuclideanProximity{MaxDist: maxDist}
+}
+
+// Hybrid mixes Cosine and EuclideanProximity with weight alpha on the
+// textual part.
+func Hybrid(alpha, maxDist float64) (Metric, error) { return sim.NewHybrid(alpha, maxDist) }
+
+// MetricFunc adapts a function to the Metric interface.
+func MetricFunc(f func(a, b *Object) float64) Metric { return sim.Func(f) }
+
+// Options parameterizes a one-shot Select.
+type Options struct {
+	// K is the number of objects to select.
+	K int
+	// ThetaFrac is the visibility threshold as a fraction of the region
+	// side (use Theta for an absolute threshold instead).
+	ThetaFrac float64
+	// Theta is the absolute visibility threshold; it overrides
+	// ThetaFrac when positive.
+	Theta float64
+	// Metric is the similarity function (required).
+	Metric Metric
+	// Sample, when true, runs the SaSS sampling extension with the
+	// given Eps/Delta (defaults 0.05/0.1), which is the practical
+	// choice for very dense regions.
+	Sample     bool
+	Eps, Delta float64
+	// Rng drives sampling; defaults to a fixed-seed source.
+	Rng *rand.Rand
+	// Filter optionally restricts selection (and scoring) to objects
+	// satisfying the predicate — e.g. only objects mentioning a
+	// keyword. Nil admits all.
+	Filter func(*Object) bool
+	// MinGain, when positive, stops selecting once the best remaining
+	// marginal gain falls below it: fewer pins on regions where extra
+	// pins stop adding representativeness.
+	MinGain float64
+}
+
+// Result is the outcome of a one-shot selection.
+type Result struct {
+	// Positions are indices into the store's collection, in selection
+	// order.
+	Positions []int
+	// Score is the normalized representative score over the region's
+	// objects (Equation 2 of the paper).
+	Score float64
+	// RegionObjects is the number of objects in the queried region.
+	RegionObjects int
+	// SampleSize is the number of objects the greedy actually saw
+	// (equals RegionObjects unless Options.Sample was set).
+	SampleSize int
+}
+
+// Select solves the sos problem for the store's objects inside region:
+// pick opts.K objects, every pair at distance >= θ, maximizing the
+// representative score. It is the 1/8-approximation greedy of the
+// paper, optionally on a theoretically grounded sample (SaSS).
+func Select(store *Store, region Rect, opts Options) (*Result, error) {
+	if store == nil {
+		return nil, fmt.Errorf("geosel: nil store")
+	}
+	if opts.Metric == nil {
+		return nil, fmt.Errorf("geosel: Options.Metric is required")
+	}
+	regionPos := store.Region(region)
+	if opts.Filter != nil {
+		all := store.Collection().Objects
+		kept := regionPos[:0]
+		for _, p := range regionPos {
+			if opts.Filter(&all[p]) {
+				kept = append(kept, p)
+			}
+		}
+		regionPos = kept
+	}
+	objs := store.Collection().Subset(regionPos)
+	theta := opts.Theta
+	if theta <= 0 {
+		side := region.Width()
+		if h := region.Height(); h > side {
+			side = h
+		}
+		theta = opts.ThetaFrac * side
+	}
+	out := &Result{RegionObjects: len(regionPos), SampleSize: len(regionPos)}
+
+	if opts.Sample {
+		eps, delta := opts.Eps, opts.Delta
+		if eps == 0 {
+			eps = 0.05
+		}
+		if delta == 0 {
+			delta = 0.1
+		}
+		rng := opts.Rng
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		sres, err := sampling.Run(objs, sampling.Config{
+			K: opts.K, Theta: theta, Metric: opts.Metric,
+			Eps: eps, Delta: delta, Rng: rng,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.SampleSize = sres.SampleSize
+		for _, s := range sres.Selected {
+			out.Positions = append(out.Positions, regionPos[s])
+		}
+		out.Score = core.Score(objs, sres.Selected, opts.Metric, core.AggMax)
+		return out, nil
+	}
+
+	sel := &core.Selector{Objects: objs, K: opts.K, Theta: theta, Metric: opts.Metric, MinGain: opts.MinGain}
+	res, err := sel.Run()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range res.Selected {
+		out.Positions = append(out.Positions, regionPos[s])
+	}
+	out.Score = res.Score
+	return out, nil
+}
+
+// Score computes the representative score of an arbitrary selection
+// (positions into objs) under the max aggregation.
+func Score(objs []Object, selected []int, m Metric) float64 {
+	return core.Score(objs, selected, m, core.AggMax)
+}
+
+// Representatives maps every object to the selected object representing
+// it best (-1 with an empty selection) — the index behind "click a pin
+// to see the similar hidden objects" exploration.
+func Representatives(objs []Object, selected []int, m Metric) []int {
+	return core.Representatives(objs, selected, m)
+}
+
+// SatisfiesVisibility reports whether every selected pair is at least
+// theta apart.
+func SatisfiesVisibility(objs []Object, selected []int, theta float64) bool {
+	return core.SatisfiesVisibility(objs, selected, theta)
+}
+
+// NewSession starts an interactive, consistency-aware exploration of
+// the store's dataset.
+func NewSession(store *Store, cfg SessionConfig) (*Session, error) {
+	return isos.NewSession(store, cfg)
+}

@@ -1,0 +1,3 @@
+module geosel
+
+go 1.22

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/grid"
+	"geosel/internal/lazyheap"
+	"geosel/internal/sim"
+)
+
+// Selector configures one run of the greedy selection algorithm. The
+// zero value is not runnable; populate at least Objects, K, Theta and
+// Metric. A Selector is single-use: build a new one per query.
+type Selector struct {
+	// Objects is the set O of geospatial objects in the region of
+	// interest. Scores are normalized by len(Objects).
+	Objects []geodata.Object
+	// K is the number of objects to display, |S ∪ D|.
+	K int
+	// Theta is the visibility threshold θ: any two displayed objects
+	// must be at distance >= Theta.
+	Theta float64
+	// Metric is the similarity function Sim(·,·).
+	Metric sim.Metric
+	// Agg selects the aggregation for Sim(o, S); AggMax is the paper's
+	// default.
+	Agg Agg
+
+	// Candidates holds the positions (into Objects) of the candidate set
+	// G from which new objects may be selected. Nil means all objects
+	// are candidates (the plain sos problem).
+	Candidates []int
+	// Forced holds the positions of the pre-determined set D that must
+	// appear in the result (zooming/panning consistency). Forced objects
+	// count toward K and must themselves satisfy the visibility
+	// constraint.
+	Forced []int
+
+	// InitialGains optionally supplies an upper bound on the initial
+	// marginal gain of each candidate, aligned with Candidates (which
+	// must be non-nil when InitialGains is set). The bounds must be
+	// valid upper bounds of the *unnormalized* marginal gain
+	// Σ_o ω(o)·Sim(o, c); the pre-fetching strategy of Section 5
+	// computes them from a superset region. When set, the selector
+	// skips the O(|O|·|G|) exact heap initialization — the paper's
+	// main bottleneck — and lazily refines bounds instead.
+	InitialGains []float64
+
+	// MinGain, when positive, stops the selection early once the best
+	// available (unnormalized) marginal gain falls below it — fewer
+	// pins, but only ones that still add representativeness. The
+	// submodularity of the objective guarantees that once the top gain
+	// drops below MinGain it never recovers.
+	MinGain float64
+
+	// DisableLazy switches off the lazy-forward strategy and recomputes
+	// every candidate's marginal gain in every iteration (the "naive
+	// idea" the paper rejects). For ablation benchmarks.
+	DisableLazy bool
+	// DisableGrid switches off the grid index for visibility-conflict
+	// removal and uses a linear scan instead. For ablation benchmarks.
+	DisableGrid bool
+}
+
+// Result is the outcome of a selection run.
+type Result struct {
+	// Selected holds positions into Objects: first the Forced set, then
+	// the greedy picks in selection order. len(Selected) <= K; it is
+	// shorter when the visibility constraint exhausts the candidates.
+	Selected []int
+	// Score is the normalized representative score Sim(O, S) of the
+	// full selection (Equation 2).
+	Score float64
+	// Evals counts full marginal-gain computations (each costing one
+	// metric call per object in O) — the paper's n_c. Lazy forward
+	// keeps Evals far below |G|·K.
+	Evals int
+	// Rounds is the number of greedy iterations performed.
+	Rounds int
+	// Gains holds the unnormalized marginal gain of each greedy pick in
+	// selection order (forced objects are not included). Submodularity
+	// makes this sequence non-increasing; it is exposed for diagnostics
+	// and early-stopping heuristics.
+	Gains []float64
+}
+
+// Run executes the selection. It returns an error for invalid
+// configurations (bad K/Theta, nil metric, out-of-range indices,
+// conflicting forced objects, mis-sized InitialGains).
+func (s *Selector) Run() (*Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.Objects)
+	res := &Result{}
+
+	// best[i] = current Sim(o_i, S): the aggregation state per object.
+	// For AggSum/AggAvg it accumulates the sum of similarities.
+	best := make([]float64, n)
+	selected := make([]int, 0, s.K)
+
+	// Seed with the forced set D.
+	for _, f := range s.Forced {
+		selected = append(selected, f)
+		s.absorb(best, f)
+	}
+
+	candidates := s.Candidates
+	if candidates == nil {
+		candidates = make([]int, n)
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+
+	// Filter out candidates that duplicate or conflict with forced
+	// objects.
+	active := make([]int, 0, len(candidates))
+	var activeBound []float64
+	if s.InitialGains != nil {
+		activeBound = make([]float64, 0, len(candidates))
+	}
+	inForced := make(map[int]bool, len(s.Forced))
+	for _, f := range s.Forced {
+		inForced[f] = true
+	}
+	for ci, c := range candidates {
+		if inForced[c] {
+			continue
+		}
+		ok := true
+		for _, f := range s.Forced {
+			if s.Objects[c].Loc.Dist(s.Objects[f].Loc) < s.Theta {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		active = append(active, c)
+		if s.InitialGains != nil {
+			activeBound = append(activeBound, s.InitialGains[ci])
+		}
+	}
+
+	if s.DisableLazy {
+		if err := s.runNaive(res, best, selected, active); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	if err := s.runLazy(res, best, selected, active, activeBound); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Selector) validate() error {
+	if s.K < 0 {
+		return fmt.Errorf("core: K = %d must be non-negative", s.K)
+	}
+	if s.Theta < 0 {
+		return fmt.Errorf("core: Theta = %v must be non-negative", s.Theta)
+	}
+	if s.Metric == nil {
+		return fmt.Errorf("core: Metric must not be nil")
+	}
+	n := len(s.Objects)
+	for _, c := range s.Candidates {
+		if c < 0 || c >= n {
+			return fmt.Errorf("core: candidate index %d out of range [0,%d)", c, n)
+		}
+	}
+	for _, f := range s.Forced {
+		if f < 0 || f >= n {
+			return fmt.Errorf("core: forced index %d out of range [0,%d)", f, n)
+		}
+	}
+	if len(s.Forced) > s.K {
+		return fmt.Errorf("core: %d forced objects exceed K = %d", len(s.Forced), s.K)
+	}
+	if !SatisfiesVisibility(s.Objects, s.Forced, s.Theta) {
+		return fmt.Errorf("core: forced set violates the visibility constraint")
+	}
+	if s.InitialGains != nil {
+		if s.Candidates == nil {
+			return fmt.Errorf("core: InitialGains requires an explicit Candidates list")
+		}
+		if len(s.InitialGains) != len(s.Candidates) {
+			return fmt.Errorf("core: InitialGains has %d entries for %d candidates",
+				len(s.InitialGains), len(s.Candidates))
+		}
+	}
+	return nil
+}
+
+// absorb updates the per-object aggregation state after adding object
+// sel to the selection.
+func (s *Selector) absorb(best []float64, sel int) {
+	o := &s.Objects[sel]
+	switch s.Agg {
+	case AggSum, AggAvg:
+		for i := range s.Objects {
+			best[i] += s.Metric.Sim(&s.Objects[i], o)
+		}
+	default:
+		for i := range s.Objects {
+			if v := s.Metric.Sim(&s.Objects[i], o); v > best[i] {
+				best[i] = v
+			}
+		}
+	}
+}
+
+// marginal returns the unnormalized marginal gain of adding candidate c:
+// Σ_i ω_i · (Sim(o_i, S ∪ {c}) − Sim(o_i, S)) under the configured
+// aggregation. For AggMax this is Σ ω·max(0, Sim(o_i, o_c) − best[i]).
+func (s *Selector) marginal(best []float64, c int) float64 {
+	o := &s.Objects[c]
+	var gain float64
+	switch s.Agg {
+	case AggSum, AggAvg:
+		for i := range s.Objects {
+			gain += s.Objects[i].Weight * s.Metric.Sim(&s.Objects[i], o)
+		}
+	default:
+		for i := range s.Objects {
+			if v := s.Metric.Sim(&s.Objects[i], o); v > best[i] {
+				gain += s.Objects[i].Weight * (v - best[i])
+			}
+		}
+	}
+	return gain
+}
+
+// finish computes the final normalized score from the aggregation state.
+func (s *Selector) finish(res *Result, best []float64, selected []int) {
+	res.Selected = selected
+	if len(s.Objects) == 0 {
+		return
+	}
+	var total float64
+	div := 1.0
+	if s.Agg == AggAvg && len(selected) > 0 {
+		div = float64(len(selected))
+	}
+	for i := range s.Objects {
+		total += s.Objects[i].Weight * best[i] / div
+	}
+	res.Score = total / float64(len(s.Objects))
+}
+
+// runLazy is Algorithm 1: heap of ⟨o, Δ(o), Iter⟩ tuples, re-evaluating
+// only stale tops, with grid-accelerated conflict removal.
+func (s *Selector) runLazy(res *Result, best []float64, selected, active []int, bounds []float64) error {
+	h := lazyheap.New(len(active))
+	for i, c := range active {
+		if bounds != nil {
+			// Pre-fetched upper bound: mark stale (Iter -1) so it is
+			// re-evaluated before being trusted.
+			h.Push(lazyheap.Tuple{ID: c, Gain: bounds[i], Iter: -1})
+			continue
+		}
+		h.Push(lazyheap.Tuple{ID: c, Gain: s.marginal(best, c), Iter: 0})
+		res.Evals++
+	}
+
+	cg, err := s.conflictGrid(active)
+	if err != nil {
+		return err
+	}
+
+	iter := 0
+	for len(selected) < s.K && h.Len() > 0 {
+		t, _ := h.Pop()
+		if t.Iter != iter {
+			t.Gain = s.marginal(best, t.ID)
+			t.Iter = iter
+			res.Evals++
+			h.Push(t)
+			continue
+		}
+		if s.MinGain > 0 && t.Gain < s.MinGain {
+			break // submodularity: no remaining candidate can reach MinGain
+		}
+		// t is up to date and maximal: select it.
+		selected = append(selected, t.ID)
+		res.Gains = append(res.Gains, t.Gain)
+		s.absorb(best, t.ID)
+		s.removeConflicts(h, cg, active, t.ID)
+		iter++
+		res.Rounds++
+	}
+	s.finish(res, best, selected)
+	return nil
+}
+
+// runNaive recomputes every remaining candidate's marginal gain each
+// iteration — the strawman the lazy-forward strategy improves on.
+func (s *Selector) runNaive(res *Result, best []float64, selected, active []int) error {
+	alive := make(map[int]bool, len(active))
+	for _, c := range active {
+		alive[c] = true
+	}
+	for len(selected) < s.K && len(alive) > 0 {
+		bestC, bestGain := -1, -1.0
+		for c := range alive {
+			g := s.marginal(best, c)
+			res.Evals++
+			if g > bestGain || (g == bestGain && c < bestC) {
+				bestC, bestGain = c, g
+			}
+		}
+		if s.MinGain > 0 && bestGain < s.MinGain {
+			break
+		}
+		selected = append(selected, bestC)
+		res.Gains = append(res.Gains, bestGain)
+		s.absorb(best, bestC)
+		delete(alive, bestC)
+		for c := range alive {
+			if s.Objects[c].Loc.Dist(s.Objects[bestC].Loc) < s.Theta {
+				delete(alive, c)
+			}
+		}
+		res.Rounds++
+	}
+	s.finish(res, best, selected)
+	return nil
+}
+
+// conflictGrid builds the grid index over the active candidates, or
+// returns nil when grids are disabled or pointless (theta == 0).
+func (s *Selector) conflictGrid(active []int) (*grid.Grid, error) {
+	if s.DisableGrid || s.Theta <= 0 || len(active) == 0 {
+		return nil, nil
+	}
+	bounds := geoBounds(s.Objects, active)
+	g, err := grid.New(bounds, s.Theta)
+	if err != nil {
+		return nil, fmt.Errorf("core: building conflict grid: %w", err)
+	}
+	for _, c := range active {
+		g.Insert(c, s.Objects[c].Loc)
+	}
+	return g, nil
+}
+
+// removeConflicts drops from the heap every candidate within Theta of
+// the just-selected object (Algorithm 1 lines 11–12), including the
+// object itself.
+func (s *Selector) removeConflicts(h *lazyheap.Heap, cg *grid.Grid, active []int, picked int) {
+	loc := s.Objects[picked].Loc
+	if cg == nil {
+		if s.Theta <= 0 {
+			h.Remove(picked)
+			return
+		}
+		for _, c := range active {
+			if h.Contains(c) && s.Objects[c].Loc.Dist(loc) < s.Theta {
+				h.Remove(c)
+			}
+		}
+		h.Remove(picked)
+		return
+	}
+	var doomed []int
+	cg.Within(loc, s.Theta, func(id int, p geo.Point) bool {
+		if p.Dist(loc) < s.Theta {
+			doomed = append(doomed, id)
+		}
+		return true
+	})
+	for _, id := range doomed {
+		cg.Remove(id, s.Objects[id].Loc)
+		h.Remove(id)
+	}
+	// The picked object itself sits at distance 0 < Theta, so it is in
+	// doomed; but guard against Theta edge cases.
+	h.Remove(picked)
+	cg.Remove(picked, loc)
+}

@@ -1,0 +1,133 @@
+// Package core implements the paper's primary contribution: the Spatial
+// Object Selection (sos) problem (Definition 3.1) and its 1/8-
+// approximation greedy algorithm with the "lazy forward" strategy
+// (Algorithm 1, Section 4). The interactive variant builds on the same
+// selector through the Candidates/Forced fields (Definition 3.6), and the
+// prefetching strategy of Section 5 plugs in through InitialGains.
+package core
+
+import (
+	"fmt"
+
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+)
+
+// Agg selects how Sim(o, S) aggregates the similarities between an
+// object and the selected set. The paper presents max (Equation 1) and
+// notes the solution "can also be extended to handle other aggregation
+// metrics, such as sum or avg"; all three are provided.
+type Agg int
+
+// Supported aggregation metrics.
+const (
+	// AggMax scores each object by its most similar selected object.
+	AggMax Agg = iota
+	// AggSum scores each object by the sum of similarities to the
+	// selected set. The resulting set function is modular.
+	AggSum
+	// AggAvg scores each object by the average similarity to the
+	// selected set.
+	AggAvg
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case AggMax:
+		return "max"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// SimToSet returns Sim(o, S) under the given aggregation: how well the
+// selected objects represent o (Equation 1 for AggMax).
+func SimToSet(objs []geodata.Object, o int, sel []int, m sim.Metric, agg Agg) float64 {
+	if len(sel) == 0 {
+		return 0
+	}
+	switch agg {
+	case AggSum, AggAvg:
+		var sum float64
+		for _, s := range sel {
+			sum += m.Sim(&objs[o], &objs[s])
+		}
+		if agg == AggAvg {
+			sum /= float64(len(sel))
+		}
+		return sum
+	default:
+		best := 0.0
+		for _, s := range sel {
+			if v := m.Sim(&objs[o], &objs[s]); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+}
+
+// Score returns the representative score of selection sel over objs
+// (Equation 2): the weighted mean over all objects of Sim(o, S).
+func Score(objs []geodata.Object, sel []int, m sim.Metric, agg Agg) float64 {
+	if len(objs) == 0 {
+		return 0
+	}
+	var total float64
+	for i := range objs {
+		total += objs[i].Weight * SimToSet(objs, i, sel, m, agg)
+	}
+	return total / float64(len(objs))
+}
+
+// SatisfiesVisibility reports whether every pair of selected objects is
+// at distance >= theta (the visibility constraint of Definition 3.1).
+func SatisfiesVisibility(objs []geodata.Object, sel []int, theta float64) bool {
+	for i := 0; i < len(sel); i++ {
+		for j := i + 1; j < len(sel); j++ {
+			if objs[sel[i]].Loc.Dist(objs[sel[j]].Loc) < theta {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Representatives maps every object to the selected object that
+// represents it best under AggMax — the index used by the paper's
+// exploration feature, where clicking a displayed object highlights the
+// hidden objects it stands for (Figure 1(c)). The result has one entry
+// per object in objs; objects in sel map to themselves when the metric
+// obeys the self-similarity axiom. With an empty selection every object
+// maps to -1.
+func Representatives(objs []geodata.Object, sel []int, m sim.Metric) []int {
+	rep := make([]int, len(objs))
+	for i := range objs {
+		rep[i] = -1
+		best := -1.0
+		for _, s := range sel {
+			if v := m.Sim(&objs[i], &objs[s]); v > best {
+				best, rep[i] = v, s
+			}
+		}
+	}
+	return rep
+}
+
+// RepresentedBy inverts Representatives for one selected object: the
+// indices of all objects whose best representative is s.
+func RepresentedBy(objs []geodata.Object, sel []int, m sim.Metric, s int) []int {
+	rep := Representatives(objs, sel, m)
+	var out []int
+	for i, r := range rep {
+		if r == s {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The three readers must never panic on arbitrary input — they are the
+// untrusted-data boundary of the library.
+
+func FuzzReadCSV(f *testing.F) {
+	col, err := Generate(POISpec(5, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, col); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("id,x,y,weight,text\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col, err := ReadCSV(bytes.NewReader(data))
+		if err == nil && col == nil {
+			t.Fatal("nil collection without error")
+		}
+	})
+}
+
+func FuzzReadJSONL(f *testing.F) {
+	col, err := Generate(POISpec(5, 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, col); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"id":1,"x":0.5,"y":0.5,"weight":0.5}`))
+	f.Add([]byte(`{"id":`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col, err := ReadJSONL(bytes.NewReader(data))
+		if err == nil && col == nil {
+			t.Fatal("nil collection without error")
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	col, err := Generate(POISpec(5, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, col); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("GSNP"))
+	f.Add([]byte("GSNP\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col, err := ReadBinary(bytes.NewReader(data))
+		if err == nil && col == nil {
+			t.Fatal("nil collection without error")
+		}
+	})
+}
+
+func FuzzReadAuto(f *testing.F) {
+	f.Add([]byte("GSNP\x01\x00"))
+	f.Add([]byte(`{"id":1}`))
+	f.Add([]byte("id,x,y,weight,text\n1,0,0,0.5,hi\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadAuto(bytes.NewReader(data))
+	})
+}

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+)
+
+// RandomRegion generates a query region following the paper's protocol
+// (Section 7.1): pick a random object from the dataset and return the
+// square of the given fractional side length (relative to the dataset
+// extent "by length") centered at it, clamped into the dataset bounds.
+// It returns an error for an empty store or a non-positive fraction.
+func RandomRegion(store *geodata.Store, sideFrac float64, rng *rand.Rand) (geo.Rect, error) {
+	if sideFrac <= 0 {
+		return geo.Rect{}, fmt.Errorf("dataset: sideFrac must be positive, got %v", sideFrac)
+	}
+	col := store.Collection()
+	if col.Len() == 0 {
+		return geo.Rect{}, fmt.Errorf("dataset: empty store")
+	}
+	bounds, _ := store.Bounds()
+	side := sideFrac * maxSide(bounds)
+	center := col.Objects[rng.Intn(col.Len())].Loc
+	r := geo.RectAround(center, side/2)
+	return clampInto(r, bounds), nil
+}
+
+// RandomZoomIn returns a random square sub-region of region whose side
+// is scale (< 1) of the region side, uniformly placed, per the paper's
+// zoom-in query generation ("randomly locate a new square-shape query
+// region Rin that is completely inside the previous region R").
+func RandomZoomIn(region geo.Rect, scale float64, rng *rand.Rand) (geo.Rect, error) {
+	if scale <= 0 || scale >= 1 {
+		return geo.Rect{}, fmt.Errorf("dataset: zoom-in scale %v outside (0,1)", scale)
+	}
+	w := region.Width() * scale
+	h := region.Height() * scale
+	ox := region.Min.X + rng.Float64()*(region.Width()-w)
+	oy := region.Min.Y + rng.Float64()*(region.Height()-h)
+	return geo.Rect{Min: geo.Pt(ox, oy), Max: geo.Pt(ox+w, oy+h)}, nil
+}
+
+// RandomZoomOut returns a random square super-region of region whose
+// side is scale (> 1) of the region side, placed so it fully covers the
+// old region ("completely covers the previous region R").
+func RandomZoomOut(region geo.Rect, scale float64, rng *rand.Rand) (geo.Rect, error) {
+	if scale <= 1 {
+		return geo.Rect{}, fmt.Errorf("dataset: zoom-out scale %v must exceed 1", scale)
+	}
+	w := region.Width() * scale
+	h := region.Height() * scale
+	ox := region.Min.X - rng.Float64()*(w-region.Width())
+	oy := region.Min.Y - rng.Float64()*(h-region.Height())
+	return geo.Rect{Min: geo.Pt(ox, oy), Max: geo.Pt(ox+w, oy+h)}, nil
+}
+
+// RandomPan returns a pan displacement that keeps the given overlap
+// fraction (of region area) between old and new region, in a uniformly
+// random axis direction mix. overlapFrac must lie in (0, 1].
+func RandomPan(region geo.Rect, overlapFrac float64, rng *rand.Rand) (geo.Point, error) {
+	if overlapFrac <= 0 || overlapFrac > 1 {
+		return geo.Point{}, fmt.Errorf("dataset: overlapFrac %v outside (0,1]", overlapFrac)
+	}
+	// Shift along one axis so that the overlap area fraction is exactly
+	// overlapFrac, choosing the axis and sign at random.
+	shiftFrac := 1 - overlapFrac
+	dx, dy := 0.0, 0.0
+	if rng.Intn(2) == 0 {
+		dx = shiftFrac * region.Width()
+	} else {
+		dy = shiftFrac * region.Height()
+	}
+	if rng.Intn(2) == 0 {
+		dx, dy = -dx, -dy
+	}
+	return geo.Pt(dx, dy), nil
+}
+
+func maxSide(r geo.Rect) float64 {
+	if r.Width() > r.Height() {
+		return r.Width()
+	}
+	return r.Height()
+}
+
+// clampInto translates r so it lies inside bounds where possible (r
+// larger than bounds is returned centered).
+func clampInto(r, bounds geo.Rect) geo.Rect {
+	d := geo.Pt(0, 0)
+	if r.Width() <= bounds.Width() {
+		if r.Min.X < bounds.Min.X {
+			d.X = bounds.Min.X - r.Min.X
+		} else if r.Max.X > bounds.Max.X {
+			d.X = bounds.Max.X - r.Max.X
+		}
+	} else {
+		d.X = bounds.Center().X - r.Center().X
+	}
+	if r.Height() <= bounds.Height() {
+		if r.Min.Y < bounds.Min.Y {
+			d.Y = bounds.Min.Y - r.Min.Y
+		} else if r.Max.Y > bounds.Max.Y {
+			d.Y = bounds.Max.Y - r.Max.Y
+		}
+	} else {
+		d.Y = bounds.Center().Y - r.Center().Y
+	}
+	return r.Translate(d)
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"geosel/internal/core"
+	"geosel/internal/dataset"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/isos"
+	"geosel/internal/quadtree"
+	"geosel/internal/rtree"
+	"geosel/internal/sampling"
+)
+
+// Ablations regenerates the design-choice comparisons DESIGN.md §5
+// calls out, as one table: each row isolates one mechanism and reports
+// the runtime (and where meaningful, the work metric) with it on and
+// off. Not a paper exhibit — the paper asserts these choices; the
+// ablations quantify them on this implementation.
+func (e *Env) Ablations(id string) (*Table, error) {
+	store, err := e.UK()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   "Design-choice ablations (UK defaults)",
+		Columns: []string{"mechanism", "variant", "runtime_s", "work"},
+		Notes: []string{
+			"lazy forward work = marginal evaluations; fewer is better",
+			"spatial index work = objects returned by the region query (identical by construction)",
+		},
+	}
+	rng := e.rng(id)
+	region, err := dataset.RandomRegion(store, DefaultRegionFrac*regionScale("UK"), rng)
+	if err != nil {
+		return nil, err
+	}
+	objs := store.Collection().Subset(store.Region(region))
+	theta := DefaultThetaFrac * region.Width()
+	m := Metric()
+
+	// Lazy forward vs naive greedy. The naive variant is O(k·|G|)
+	// marginal evaluations; cap the instance so it terminates promptly.
+	lazyObjs := objs
+	if len(lazyObjs) > 1500 {
+		lazyObjs = lazyObjs[:1500]
+	}
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"lazy-forward", false}, {"naive", true}} {
+		var res *core.Result
+		d := timeIt(func() {
+			s := &core.Selector{Objects: lazyObjs, K: DefaultK, Theta: theta,
+				Metric: m, DisableLazy: variant.disable}
+			res, err = s.Run()
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("marginal-evaluation", variant.name, fdur(d), fmt.Sprintf("%d evals", res.Evals))
+	}
+
+	// Grid-assisted conflict removal vs linear scan.
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"grid", false}, {"linear", true}} {
+		d := timeIt(func() {
+			s := &core.Selector{Objects: objs, K: DefaultK, Theta: theta,
+				Metric: m, DisableGrid: variant.disable}
+			_, err = s.Run()
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("conflict-removal", variant.name, fdur(d), "")
+	}
+
+	// Serfling vs Hoeffding sample sizing, end to end.
+	for _, bound := range []sampling.Bound{sampling.BoundSerfling, sampling.BoundHoeffding} {
+		var sres *sampling.Result
+		d := timeIt(func() {
+			sres, err = sampling.Run(objs, sampling.Config{
+				K: DefaultK, Theta: theta, Metric: m,
+				Eps: DefaultEps, Delta: DefaultDelta, Bound: bound, Rng: rng,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("sample-bound", bound.String(), fdur(d), fmt.Sprintf("%d samples", sres.SampleSize))
+	}
+
+	// R-tree (STR) vs quadtree: build + the experiment's region query.
+	col := store.Collection()
+	items := make([]rtree.Item, len(col.Objects))
+	for i := range col.Objects {
+		items[i] = rtree.PointItem(i, col.Objects[i].Loc)
+	}
+	var rt *rtree.Tree
+	dBuild := timeIt(func() { rt = rtree.BulkLoad(items) })
+	var got int
+	dQuery := timeIt(func() {
+		for i := 0; i < 100; i++ {
+			got = len(rt.SearchCollect(region))
+		}
+	})
+	t.AddRow("spatial-index", "rtree-str", fdur(dBuild), fmt.Sprintf("build; query100 %s, %d hits", fdur(dQuery), got))
+
+	var qt *quadtree.Tree
+	dBuild = timeIt(func() {
+		qt, err = quadtree.New(geo.WorldUnit)
+		if err != nil {
+			return
+		}
+		for i := range col.Objects {
+			if e := qt.Insert(i, col.Objects[i].Loc); e != nil {
+				err = e
+				return
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	dQuery = timeIt(func() {
+		for i := 0; i < 100; i++ {
+			got = len(qt.SearchCollect(region))
+		}
+	})
+	t.AddRow("spatial-index", "quadtree", fdur(dBuild), fmt.Sprintf("build; query100 %s, %d hits", fdur(dQuery), got))
+
+	// Plain vs tiled prefetch bounds for a zoom-in (selection identical;
+	// runtime includes the query-time bound assembly for tiled).
+	inner, err := dataset.RandomZoomIn(region, DefaultZoomInScale, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, variant := range []struct {
+		name  string
+		tiles int
+	}{{"plain-lemma", 0}, {"tiled-16", 16}} {
+		resp, pf, err := e.isosTrialPrefetch(store, region, inner, variant.tiles)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("prefetch-bounds", variant.name, fdur(resp), fmt.Sprintf("prefetch cost %s", fdur(pf)))
+	}
+	return t, nil
+}
+
+// isosTrialPrefetch runs one prefetched zoom-in with the given tiling
+// and returns (response, prefetch cost).
+func (e *Env) isosTrialPrefetch(store *geodata.Store, region, inner geo.Rect, tiles int) (time.Duration, time.Duration, error) {
+	sess, err := isos.NewSession(store, isos.Config{
+		K: DefaultK, ThetaFrac: DefaultThetaFrac, Metric: Metric(), TilesPerSide: tiles,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := sess.Start(region); err != nil {
+		return 0, 0, err
+	}
+	pf := timeIt(func() { err = sess.Prefetch(geo.OpZoomIn) })
+	if err != nil {
+		return 0, 0, err
+	}
+	sel, err := sess.ZoomIn(inner)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sel.Elapsed, pf, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// exhibit maps a paper table/figure id to its regeneration function.
+type exhibit struct {
+	id    string
+	about string
+	run   func(e *Env) (*Table, error)
+}
+
+var exhibits = []exhibit{
+	{"table3", "User study for sos (Table 3)", func(e *Env) (*Table, error) { return e.UserStudySOS("table3") }},
+	{"table4", "User study for isos (Table 4)", func(e *Env) (*Table, error) { return e.UserStudyISOS("table4") }},
+	{"fig7", "Method comparison on UK (Figure 7)", func(e *Env) (*Table, error) { return e.MethodComparison("fig7", "UK") }},
+	{"fig8", "Method comparison on POI (Figure 8)", func(e *Env) (*Table, error) { return e.MethodComparison("fig8", "POI") }},
+	{"fig9", "Varying eps on US (Figure 9)", func(e *Env) (*Table, error) { return e.SamplingSweep("fig9", true) }},
+	{"fig10", "Varying delta on US (Figure 10)", func(e *Env) (*Table, error) { return e.SamplingSweep("fig10", false) }},
+	{"fig11", "Varying query region size (Figure 11)", func(e *Env) (*Table, error) { return e.RegionSizeSweep("fig11") }},
+	{"fig12", "Scalability (Figure 12)", func(e *Env) (*Table, error) { return e.Scalability("fig12") }},
+	{"fig13", "Pre-fetching vs non-fetching (Figure 13)", func(e *Env) (*Table, error) { return e.PrefetchComparison("fig13") }},
+	{"fig14", "Zooming scale & panning overlap (Figure 14)", func(e *Env) (*Table, error) { return e.ZoomPanSweep("fig14") }},
+	{"fig18", "Varying k (Figure 18, E.1)", func(e *Env) (*Table, error) { return e.KSweep("fig18") }},
+	{"fig19", "Varying theta (Figure 19, E.2)", func(e *Env) (*Table, error) { return e.ThetaSweep("fig19") }},
+	{"fig20", "isos: varying region size (Figure 20, F.1)", func(e *Env) (*Table, error) { return e.ISOSRegionSweep("fig20") }},
+	{"fig21", "isos: varying k (Figure 21, F.2)", func(e *Env) (*Table, error) { return e.ISOSKSweep("fig21") }},
+	{"fig22", "isos: varying theta (Figure 22, F.3)", func(e *Env) (*Table, error) { return e.ISOSThetaSweep("fig22") }},
+	{"fig23", "isos: scalability (Figure 23, F.4)", func(e *Env) (*Table, error) { return e.ISOSScalability("fig23") }},
+	{"ablations", "Design-choice ablations (DESIGN.md §5; not a paper exhibit)", func(e *Env) (*Table, error) { return e.Ablations("ablations") }},
+}
+
+// ExhibitIDs lists every regenerable table/figure id in paper order.
+func ExhibitIDs() []string {
+	ids := make([]string, len(exhibits))
+	for i, ex := range exhibits {
+		ids[i] = ex.id
+	}
+	return ids
+}
+
+// Describe returns the one-line description of an exhibit id.
+func Describe(id string) (string, bool) {
+	for _, ex := range exhibits {
+		if ex.id == id {
+			return ex.about, true
+		}
+	}
+	return "", false
+}
+
+// Run regenerates one exhibit by id.
+func (e *Env) Run(id string) (*Table, error) {
+	for _, ex := range exhibits {
+		if ex.id == id {
+			return ex.run(e)
+		}
+	}
+	known := ExhibitIDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown exhibit %q (known: %v)", id, known)
+}

@@ -1,0 +1,62 @@
+package geo
+
+import "math"
+
+// ln is math.Log, aliased so viewport.go can use it without a second
+// import statement in that file.
+func ln(x float64) float64 { return math.Log(x) }
+
+// WorldUnit is the canonical unit-square world rectangle that the
+// generators and experiments use. All synthetic datasets are normalized
+// into it, matching the paper's relative parameterization (Table 2 sizes
+// are fractions of the whole dataset extent).
+var WorldUnit = Rect{Min: Point{0, 0}, Max: Point{1, 1}}
+
+// LonLat is a geodetic coordinate in degrees.
+type LonLat struct {
+	Lon, Lat float64
+}
+
+// maxMercatorLat is the latitude bound of the Web-Mercator projection.
+const maxMercatorLat = 85.05112878
+
+// Mercator projects a longitude/latitude pair onto the unit square using
+// the spherical Web-Mercator projection: (0,0) is the south-west corner
+// (-180°, -85.05°) and (1,1) the north-east corner. Latitudes beyond the
+// Mercator bound are clamped.
+func Mercator(ll LonLat) Point {
+	lat := ll.Lat
+	if lat > maxMercatorLat {
+		lat = maxMercatorLat
+	}
+	if lat < -maxMercatorLat {
+		lat = -maxMercatorLat
+	}
+	x := (ll.Lon + 180) / 360
+	s := math.Sin(lat * math.Pi / 180)
+	y := 0.5 + math.Log((1+s)/(1-s))/(4*math.Pi)
+	return Point{X: x, Y: y}
+}
+
+// InverseMercator maps a unit-square point back to longitude/latitude.
+func InverseMercator(p Point) LonLat {
+	lon := p.X*360 - 180
+	// The forward transform is y-0.5 = atanh(sin(lat))/(2π).
+	lat := 180 / math.Pi * math.Asin(math.Tanh((p.Y-0.5)*2*math.Pi))
+	return LonLat{Lon: lon, Lat: lat}
+}
+
+// HaversineMeters returns the great-circle distance between two geodetic
+// coordinates in meters, using a spherical earth of radius 6371 km. It is
+// provided for applications that feed real longitude/latitude data into
+// the library and want the visibility threshold expressed in meters.
+func HaversineMeters(a, b LonLat) float64 {
+	const r = 6371000.0
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dla := (b.Lat - a.Lat) * math.Pi / 180
+	dlo := (b.Lon - a.Lon) * math.Pi / 180
+	h := math.Sin(dla/2)*math.Sin(dla/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * r * math.Asin(math.Min(1, math.Sqrt(h)))
+}

@@ -1,0 +1,55 @@
+package isos
+
+import (
+	"fmt"
+
+	"geosel/internal/geo"
+)
+
+// CheckTransition verifies that a navigation transition honors the
+// zooming and panning consistency constraints (Section 3.4). oldVisible
+// and newVisible are collection positions of the selections before and
+// after the operation; locate maps positions to locations. It returns a
+// descriptive error for the first violation found.
+func CheckTransition(op geo.Op, oldRegion, newRegion geo.Rect, oldVisible, newVisible []int, locate func(int) geo.Point) error {
+	newVis := toSet(newVisible)
+	oldVis := toSet(oldVisible)
+	switch op {
+	case geo.OpZoomIn:
+		// Every previously visible object inside the new (finer) region
+		// must remain visible.
+		for _, o := range oldVisible {
+			if newRegion.Contains(locate(o)) && !newVis[o] {
+				return fmt.Errorf("isos: zoom-in dropped visible object %d inside the new region", o)
+			}
+		}
+	case geo.OpZoomOut:
+		// Objects shown at the coarser granularity that lie in the old
+		// region must have been visible at the finer granularity.
+		for _, o := range newVisible {
+			if oldRegion.Contains(locate(o)) && !oldVis[o] {
+				return fmt.Errorf("isos: zoom-out displays object %d hidden at the finer granularity", o)
+			}
+		}
+	case geo.OpPan:
+		overlap, ok := oldRegion.Intersect(newRegion)
+		if !ok {
+			return fmt.Errorf("isos: pan regions do not overlap")
+		}
+		// Visible objects in the overlap stay visible...
+		for _, o := range oldVisible {
+			if overlap.Contains(locate(o)) && !newVis[o] {
+				return fmt.Errorf("isos: pan dropped visible object %d in the overlap", o)
+			}
+		}
+		// ...and hidden old-region objects do not appear.
+		for _, o := range newVisible {
+			if oldRegion.Contains(locate(o)) && !oldVis[o] {
+				return fmt.Errorf("isos: pan displays object %d hidden before the move", o)
+			}
+		}
+	default:
+		return fmt.Errorf("isos: unknown operation %v", op)
+	}
+	return nil
+}

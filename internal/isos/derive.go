@@ -1,0 +1,90 @@
+// Package isos implements the Interactive Spatial Object Selection
+// problem (Definition 3.6): sessions that track the user's viewport and
+// currently visible objects across zoom-in, zoom-out and pan operations,
+// derive the pre-determined set D and candidate set G that the zooming
+// and panning consistency constraints dictate (Examples 3.3–3.5), and
+// run the constrained greedy selection for each new map region.
+package isos
+
+import (
+	"geosel/internal/geo"
+)
+
+// Derivation is the (D, G) pair of Definition 3.6 for one navigation
+// operation, expressed as collection positions: D must stay visible in
+// the new region, and new picks may only come from G.
+type Derivation struct {
+	// D is the pre-determined set: objects that must remain visible.
+	D []int
+	// G is the candidate set: the only objects that may newly become
+	// visible.
+	G []int
+}
+
+// contains builds a membership set from a slice.
+func toSet(idx []int) map[int]bool {
+	s := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		s[i] = true
+	}
+	return s
+}
+
+// DeriveZoomIn computes (D, G) for a zoom-in (Example 3.3): objects
+// visible before the zoom that fall inside the new (inner) region must
+// stay visible; every other object of the new region is a candidate.
+//
+// visible holds the currently visible positions; newRegionObjs the
+// positions of all objects in the new region; locate maps a position to
+// its location.
+func DeriveZoomIn(visible, newRegionObjs []int, newRegion geo.Rect, locate func(int) geo.Point) Derivation {
+	vis := toSet(visible)
+	var d Derivation
+	for _, o := range newRegionObjs {
+		if vis[o] && newRegion.Contains(locate(o)) {
+			d.D = append(d.D, o)
+		} else {
+			d.G = append(d.G, o)
+		}
+	}
+	return d
+}
+
+// DeriveZoomOut computes (D, G) for a zoom-out (Example 3.4): nothing is
+// forced, and objects of the old region that were hidden there cannot be
+// selected (they would violate zooming consistency: an object shown at
+// the coarser granularity must be visible at every finer granularity
+// containing it). Candidates are the new-region objects outside the old
+// region plus the previously visible ones.
+func DeriveZoomOut(visible, newRegionObjs []int, oldRegion geo.Rect, locate func(int) geo.Point) Derivation {
+	vis := toSet(visible)
+	var d Derivation
+	for _, o := range newRegionObjs {
+		if oldRegion.Contains(locate(o)) && !vis[o] {
+			continue // hidden at the finer granularity: not selectable
+		}
+		d.G = append(d.G, o)
+	}
+	return d
+}
+
+// DerivePan computes (D, G) for a pan (Example 3.5): visible objects in
+// the overlap of old and new regions must stay visible; hidden old-
+// region objects in the overlap are not selectable; objects in the
+// freshly exposed area are the candidates.
+func DerivePan(visible, newRegionObjs []int, oldRegion geo.Rect, locate func(int) geo.Point) Derivation {
+	vis := toSet(visible)
+	var d Derivation
+	for _, o := range newRegionObjs {
+		inOld := oldRegion.Contains(locate(o))
+		switch {
+		case inOld && vis[o]:
+			d.D = append(d.D, o)
+		case inOld:
+			// In the overlap but previously hidden: excluded.
+		default:
+			d.G = append(d.G, o)
+		}
+	}
+	return d
+}

@@ -1,0 +1,148 @@
+package isos
+
+import (
+	"sort"
+	"testing"
+
+	"geosel/internal/geo"
+)
+
+func TestBackRestoresState(t *testing.T) {
+	store := testStore(t, 3000, 21)
+	s, err := NewSession(store, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.25)
+	start, err := s.Start(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CanBack() {
+		t.Error("fresh session should have no history")
+	}
+	if _, err := s.Back(); err == nil {
+		t.Error("Back with no history should fail")
+	}
+
+	if _, err := s.ZoomIn(region.ScaleAroundCenter(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CanBack() {
+		t.Fatal("history missing after zoom")
+	}
+	back, err := s.Back()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Viewport().Region; got != region {
+		t.Errorf("viewport = %v, want %v", got, region)
+	}
+	a := append([]int(nil), start.Positions...)
+	b := append([]int(nil), back.Positions...)
+	sort.Ints(a)
+	sort.Ints(b)
+	if len(a) != len(b) {
+		t.Fatalf("restored %d pins, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored selection differs at %d", i)
+		}
+	}
+	if s.CanBack() {
+		t.Error("history should be consumed")
+	}
+}
+
+func TestBackThroughSequence(t *testing.T) {
+	store := testStore(t, 3000, 22)
+	s, err := NewSession(store, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	if _, err := s.Start(region); err != nil {
+		t.Fatal(err)
+	}
+	var regions []geo.Rect
+	regions = append(regions, s.Viewport().Region)
+	if _, err := s.ZoomIn(region.ScaleAroundCenter(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	regions = append(regions, s.Viewport().Region)
+	if _, err := s.Pan(geo.Pt(0.02, 0)); err != nil {
+		t.Fatal(err)
+	}
+	regions = append(regions, s.Viewport().Region)
+	if _, err := s.ZoomOut(s.Viewport().Region.ScaleAroundCenter(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	// Walk all the way back.
+	for i := len(regions) - 1; i >= 0; i-- {
+		if _, err := s.Back(); err != nil {
+			t.Fatalf("back to %d: %v", i, err)
+		}
+		if got := s.Viewport().Region; got != regions[i] {
+			t.Fatalf("back to %d: region %v, want %v", i, got, regions[i])
+		}
+	}
+	if s.CanBack() {
+		t.Error("history should be exhausted")
+	}
+}
+
+func TestStartClearsHistory(t *testing.T) {
+	store := testStore(t, 1000, 23)
+	s, err := NewSession(store, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	if _, err := s.Start(region); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ZoomIn(region.ScaleAroundCenter(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(region); err != nil {
+		t.Fatal(err)
+	}
+	if s.CanBack() {
+		t.Error("Start should clear history")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	store := testStore(t, 2000, 24)
+	cfg := testConfig(t)
+	s, err := NewSession(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(geo.RectAround(geo.Pt(0.5, 0.5), 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	// Alternate tiny pans to build up far more than maxHistory entries.
+	d := geo.Pt(0.001, 0)
+	for i := 0; i < maxHistory+20; i++ {
+		if _, err := s.Pan(d); err != nil {
+			t.Fatal(err)
+		}
+		d.X = -d.X
+	}
+	if len(s.history) > maxHistory {
+		t.Errorf("history length %d exceeds cap %d", len(s.history), maxHistory)
+	}
+	// Back still works across the whole retained window.
+	steps := 0
+	for s.CanBack() {
+		if _, err := s.Back(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if steps != maxHistory {
+		t.Errorf("walked back %d steps, want %d", steps, maxHistory)
+	}
+}

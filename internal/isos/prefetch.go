@@ -1,0 +1,102 @@
+package isos
+
+import (
+	"geosel/internal/geo"
+	"geosel/internal/prefetch"
+)
+
+// prefetchState caches the per-operation upper-bound data computed by
+// Prefetch; it is invalidated after every navigation operation.
+type prefetchState struct {
+	plain map[geo.Op]map[int]float64
+	tiled map[geo.Op]*prefetch.Tiled
+	env   map[geo.Op]geo.Rect
+}
+
+// Prefetch precomputes marginal-gain upper bounds for the given
+// navigation operations (all three when none are specified) from the
+// current viewport, per Section 5. Call it after a selection while the
+// user is inspecting the view; the next matching operation seeds the
+// greedy heap from the cached bounds instead of paying the exact
+// O(|O|·|G|) initialization.
+//
+// With Config.TilesPerSide > 0 the bounds are tiled (see
+// prefetch.Tiled): tighter than the plain Lemma 5.1–5.3 sums at the
+// same prefetch cost, which lets lazy forward prune far more candidates
+// in the first iteration.
+func (s *Session) Prefetch(ops ...geo.Op) error {
+	if err := s.requireStarted(); err != nil {
+		return err
+	}
+	if len(ops) == 0 {
+		ops = []geo.Op{geo.OpZoomIn, geo.OpZoomOut, geo.OpPan}
+	}
+	if s.prefetch == nil {
+		s.prefetch = &prefetchState{
+			plain: make(map[geo.Op]map[int]float64),
+			tiled: make(map[geo.Op]*prefetch.Tiled),
+			env:   make(map[geo.Op]geo.Rect),
+		}
+	}
+	for _, op := range ops {
+		var env geo.Rect
+		switch op {
+		case geo.OpZoomIn:
+			env = s.viewport.Region
+		case geo.OpZoomOut:
+			env = s.viewport.ZoomOutEnvelope(s.cfg.MaxZoomOutScale)
+		case geo.OpPan:
+			env = s.viewport.PanEnvelope()
+		default:
+			continue
+		}
+		s.prefetch.env[op] = env
+		if s.cfg.TilesPerSide > 0 {
+			t, err := prefetch.NewTiled(s.store.Collection(), s.store.Region(env), env, s.cfg.TilesPerSide, s.cfg.Metric)
+			if err != nil {
+				return err
+			}
+			s.prefetch.tiled[op] = t
+			continue
+		}
+		switch op {
+		case geo.OpZoomIn:
+			s.prefetch.plain[op] = prefetch.ZoomInBounds(s.store, s.viewport.Region, s.cfg.Metric)
+		case geo.OpZoomOut:
+			s.prefetch.plain[op] = prefetch.ZoomOutBounds(s.store, s.viewport, s.cfg.MaxZoomOutScale, s.cfg.Metric)
+		case geo.OpPan:
+			s.prefetch.plain[op] = prefetch.PanBounds(s.store, s.viewport, s.cfg.Metric)
+		}
+	}
+	return nil
+}
+
+// prefetchBounds returns the bound map for op and the concrete new
+// region when the prefetched data covers it, nil otherwise (the
+// selection then falls back to exact initialization). Misses happen
+// when nothing was prefetched, the new region escapes the prefetched
+// envelope (e.g. a zoom-out beyond MaxZoomOutScale), or a candidate is
+// not covered — a missing bound cannot be trusted as zero.
+func (s *Session) prefetchBounds(op geo.Op, region geo.Rect, g []int) map[int]float64 {
+	if s.prefetch == nil {
+		return nil
+	}
+	env, ok := s.prefetch.env[op]
+	if !ok || !env.ContainsRect(region.Expand(-1e-12)) {
+		return nil
+	}
+	var m map[int]float64
+	if t, ok := s.prefetch.tiled[op]; ok {
+		m = t.BoundsFor(region)
+	} else if pm, ok := s.prefetch.plain[op]; ok {
+		m = pm
+	} else {
+		return nil
+	}
+	for _, p := range g {
+		if _, ok := m[p]; !ok {
+			return nil
+		}
+	}
+	return m
+}

@@ -1,0 +1,321 @@
+package isos
+
+import (
+	"fmt"
+	"time"
+
+	"geosel/internal/core"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+)
+
+// Config parameterizes a Session.
+type Config struct {
+	// K is the number of objects displayed per viewport.
+	K int
+	// ThetaFrac expresses the visibility threshold θ as a fraction of
+	// the viewport side length (the paper uses 0.003 of the query
+	// region "by length", Table 2), so the on-screen separation is
+	// constant across zoom levels.
+	ThetaFrac float64
+	// Metric is the similarity function.
+	Metric sim.Metric
+	// Agg is the aggregation for Sim(o, S).
+	Agg core.Agg
+	// MaxZoomOutScale bounds the zoom-out factor covered by prefetched
+	// zoom-out envelopes; zoom-outs beyond it fall back to a cold
+	// selection. 0 means the default of 2 (the Table 2 default; the
+	// envelope's object count — and hence the prefetch cost — grows
+	// with the square of this scale).
+	MaxZoomOutScale float64
+	// TilesPerSide switches prefetching to tiled bounds with a T×T grid
+	// over the envelope (see prefetch.Tiled). 0 keeps the paper's plain
+	// Lemma 5.1–5.3 bounds.
+	TilesPerSide int
+	// Filter optionally restricts the session to objects satisfying the
+	// predicate — the paper's "filtering condition" scenario (e.g. only
+	// objects whose text mentions "restaurant"). The representative
+	// score is then computed over the filtered objects. Nil admits all.
+	Filter func(*geodata.Object) bool
+}
+
+// Selection reports one selection round in a session.
+type Selection struct {
+	// Positions are collection positions of the visible objects, forced
+	// objects first.
+	Positions []int
+	// Score is the normalized representative score over the objects of
+	// the current region.
+	Score float64
+	// RegionObjects is |O|, the number of objects in the region.
+	RegionObjects int
+	// ForcedCount is |D| and CandidateCount |G| for this round.
+	ForcedCount, CandidateCount int
+	// Evals counts marginal evaluations inside the greedy run.
+	Evals int
+	// Elapsed is the wall-clock time of the selection (excluding the
+	// region fetch, matching the paper's measurement methodology:
+	// "we report the runtime after the object fetching is finished").
+	Elapsed time.Duration
+	// Prefetched reports whether prefetched upper bounds seeded the
+	// heap.
+	Prefetched bool
+}
+
+// Session is an interactive exploration of one dataset. It is not safe
+// for concurrent use; a session models a single user's map.
+type Session struct {
+	store *geodata.Store
+	cfg   Config
+
+	viewport geo.Viewport
+	visible  []int // collection positions currently displayed
+	started  bool
+	history  []histEntry
+
+	prefetch *prefetchState
+}
+
+// NewSession validates the configuration and returns a session over the
+// store's dataset.
+func NewSession(store *geodata.Store, cfg Config) (*Session, error) {
+	if store == nil {
+		return nil, fmt.Errorf("isos: nil store")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("isos: K must be positive, got %d", cfg.K)
+	}
+	if cfg.ThetaFrac < 0 {
+		return nil, fmt.Errorf("isos: ThetaFrac must be non-negative, got %v", cfg.ThetaFrac)
+	}
+	if cfg.Metric == nil {
+		return nil, fmt.Errorf("isos: Metric must not be nil")
+	}
+	if cfg.MaxZoomOutScale == 0 {
+		cfg.MaxZoomOutScale = 2
+	}
+	if cfg.MaxZoomOutScale < 1 {
+		return nil, fmt.Errorf("isos: MaxZoomOutScale must be >= 1, got %v", cfg.MaxZoomOutScale)
+	}
+	return &Session{store: store, cfg: cfg}, nil
+}
+
+// Viewport returns the current viewport; meaningful after Start.
+func (s *Session) Viewport() geo.Viewport { return s.viewport }
+
+// Visible returns the collection positions of the currently displayed
+// objects (a copy).
+func (s *Session) Visible() []int { return append([]int(nil), s.visible...) }
+
+// theta returns the world-space visibility threshold for a region.
+func (s *Session) theta(region geo.Rect) float64 {
+	side := region.Width()
+	if h := region.Height(); h > side {
+		side = h
+	}
+	return s.cfg.ThetaFrac * side
+}
+
+// Start begins the session at the given region with an unconstrained
+// sos selection.
+func (s *Session) Start(region geo.Rect) (*Selection, error) {
+	if !region.Valid() || region.Width() <= 0 || region.Height() <= 0 {
+		return nil, fmt.Errorf("isos: invalid start region %v", region)
+	}
+	world := region
+	if b, ok := s.store.Bounds(); ok {
+		world = b
+	}
+	s.viewport = geo.NewViewport(world, region)
+	sel, err := s.selectIn(region, Derivation{G: nil}, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.started = true
+	s.prefetch = nil
+	s.history = nil
+	return sel, nil
+}
+
+// ZoomIn navigates to inner (which must lie inside the current region)
+// and selects objects for it under the zooming consistency constraint.
+func (s *Session) ZoomIn(inner geo.Rect) (*Selection, error) {
+	if err := s.requireStarted(); err != nil {
+		return nil, err
+	}
+	nv, err := s.viewport.ZoomIn(inner)
+	if err != nil {
+		return nil, err
+	}
+	objs := s.regionObjects(inner)
+	d := DeriveZoomIn(s.visible, objs, inner, s.locate)
+	bounds := s.prefetchBounds(geo.OpZoomIn, inner, d.G)
+	prev := histEntry{viewport: s.viewport, visible: append([]int(nil), s.visible...)}
+	sel, err := s.selectIn(inner, d, false, bounds)
+	if err != nil {
+		return nil, err
+	}
+	s.history = append(s.history, prev)
+	s.trimHistory()
+	s.viewport = nv
+	s.prefetch = nil
+	return sel, nil
+}
+
+// ZoomOut navigates to outer (which must contain the current region).
+func (s *Session) ZoomOut(outer geo.Rect) (*Selection, error) {
+	if err := s.requireStarted(); err != nil {
+		return nil, err
+	}
+	old := s.viewport.Region
+	nv, err := s.viewport.ZoomOut(outer)
+	if err != nil {
+		return nil, err
+	}
+	objs := s.regionObjects(outer)
+	d := DeriveZoomOut(s.visible, objs, old, s.locate)
+	bounds := s.prefetchBounds(geo.OpZoomOut, outer, d.G)
+	prev := histEntry{viewport: s.viewport, visible: append([]int(nil), s.visible...)}
+	sel, err := s.selectIn(outer, d, false, bounds)
+	if err != nil {
+		return nil, err
+	}
+	s.history = append(s.history, prev)
+	s.trimHistory()
+	s.viewport = nv
+	s.prefetch = nil
+	return sel, nil
+}
+
+// Pan moves the viewport by delta (the new region must overlap the old).
+func (s *Session) Pan(delta geo.Point) (*Selection, error) {
+	if err := s.requireStarted(); err != nil {
+		return nil, err
+	}
+	old := s.viewport.Region
+	nv, err := s.viewport.Pan(delta)
+	if err != nil {
+		return nil, err
+	}
+	objs := s.regionObjects(nv.Region)
+	d := DerivePan(s.visible, objs, old, s.locate)
+	bounds := s.prefetchBounds(geo.OpPan, nv.Region, d.G)
+	prev := histEntry{viewport: s.viewport, visible: append([]int(nil), s.visible...)}
+	sel, err := s.selectIn(nv.Region, d, false, bounds)
+	if err != nil {
+		return nil, err
+	}
+	s.history = append(s.history, prev)
+	s.trimHistory()
+	s.viewport = nv
+	s.prefetch = nil
+	return sel, nil
+}
+
+func (s *Session) requireStarted() error {
+	if !s.started {
+		return fmt.Errorf("isos: session not started; call Start first")
+	}
+	return nil
+}
+
+func (s *Session) locate(pos int) geo.Point {
+	return s.store.Collection().Objects[pos].Loc
+}
+
+// regionObjects returns the positions of the session-relevant objects
+// in region, applying the configured filter.
+func (s *Session) regionObjects(region geo.Rect) []int {
+	pos := s.store.Region(region)
+	if s.cfg.Filter == nil {
+		return pos
+	}
+	objs := s.store.Collection().Objects
+	out := pos[:0]
+	for _, p := range pos {
+		if s.cfg.Filter(&objs[p]) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// selectIn runs the constrained greedy for region. When unconstrained
+// is true, all region objects are candidates (the plain sos problem).
+// bounds, if non-nil, maps collection positions in G to prefetched
+// upper bounds.
+func (s *Session) selectIn(region geo.Rect, d Derivation, unconstrained bool, bounds map[int]float64) (*Selection, error) {
+	regionPos := s.regionObjects(region)
+	col := s.store.Collection()
+	objs := col.Subset(regionPos)
+
+	// Map collection positions to subset positions.
+	subsetOf := make(map[int]int, len(regionPos))
+	for i, p := range regionPos {
+		subsetOf[p] = i
+	}
+
+	selector := &core.Selector{
+		Objects: objs,
+		K:       s.cfg.K,
+		Theta:   s.theta(region),
+		Metric:  s.cfg.Metric,
+		Agg:     s.cfg.Agg,
+	}
+	forcedCount, candCount := 0, len(regionPos)
+	if !unconstrained {
+		forced := make([]int, 0, len(d.D))
+		for _, p := range d.D {
+			if i, ok := subsetOf[p]; ok {
+				forced = append(forced, i)
+			}
+		}
+		cands := make([]int, 0, len(d.G))
+		var gains []float64
+		if bounds != nil {
+			gains = make([]float64, 0, len(d.G))
+		}
+		for _, p := range d.G {
+			i, ok := subsetOf[p]
+			if !ok {
+				continue
+			}
+			cands = append(cands, i)
+			if bounds != nil {
+				gains = append(gains, bounds[p])
+			}
+		}
+		// Forced objects that exceed K are trimmed deterministically;
+		// this can only happen when K shrinks between operations.
+		if len(forced) > s.cfg.K {
+			forced = forced[:s.cfg.K]
+		}
+		selector.Forced = forced
+		selector.Candidates = cands
+		selector.InitialGains = gains
+		forcedCount, candCount = len(forced), len(cands)
+	}
+
+	start := time.Now()
+	res, err := selector.Run()
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	out := &Selection{
+		Score:          res.Score,
+		RegionObjects:  len(regionPos),
+		ForcedCount:    forcedCount,
+		CandidateCount: candCount,
+		Evals:          res.Evals,
+		Elapsed:        elapsed,
+		Prefetched:     bounds != nil,
+	}
+	for _, i := range res.Selected {
+		out.Positions = append(out.Positions, regionPos[i])
+	}
+	s.visible = append([]int(nil), out.Positions...)
+	return out, nil
+}

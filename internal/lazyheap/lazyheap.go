@@ -1,0 +1,146 @@
+// Package lazyheap implements the max-heap of ⟨object, Δ, iter⟩ tuples
+// that powers the paper's "lazy forward" (CELF-style) greedy selection
+// (Algorithm 1). On top of container/heap it supports removal of
+// arbitrary entries by id, which the greedy algorithm needs when
+// discarding candidates that violate the visibility constraint after a
+// selection.
+package lazyheap
+
+import "container/heap"
+
+// Tuple is one heap entry: a candidate object id, an upper bound (or
+// exact value) of its marginal gain Δ, and the greedy iteration at which
+// that Δ was computed. A Δ computed at an earlier iteration is only an
+// upper bound on the current marginal gain (submodularity, Lemma 4.1 of
+// the paper), so the algorithm re-evaluates a popped tuple whose Iter is
+// stale before trusting it.
+type Tuple struct {
+	ID   int
+	Gain float64
+	Iter int
+}
+
+// Heap is a max-heap of Tuples ordered by Gain, with O(log n) removal of
+// arbitrary ids. The zero value is an empty heap ready for use.
+type Heap struct {
+	entries []Tuple
+	pos     map[int]int // object id -> index in entries
+}
+
+// New returns an empty heap with capacity for n entries.
+func New(n int) *Heap {
+	return &Heap{
+		entries: make([]Tuple, 0, n),
+		pos:     make(map[int]int, n),
+	}
+}
+
+// Len reports the number of entries.
+func (h *Heap) Len() int { return len(h.entries) }
+
+// Push inserts t. If an entry with the same id already exists it is
+// replaced (its gain and iter are updated, and the heap reordered).
+func (h *Heap) Push(t Tuple) {
+	if h.pos == nil {
+		h.pos = make(map[int]int)
+	}
+	if i, ok := h.pos[t.ID]; ok {
+		h.entries[i] = t
+		heap.Fix(hi{h}, i)
+		return
+	}
+	heap.Push(hi{h}, t)
+}
+
+// Peek returns the maximum-gain tuple without removing it. The second
+// result is false when the heap is empty.
+func (h *Heap) Peek() (Tuple, bool) {
+	if len(h.entries) == 0 {
+		return Tuple{}, false
+	}
+	return h.entries[0], true
+}
+
+// Pop removes and returns the maximum-gain tuple. The second result is
+// false when the heap is empty.
+func (h *Heap) Pop() (Tuple, bool) {
+	if len(h.entries) == 0 {
+		return Tuple{}, false
+	}
+	t := heap.Pop(hi{h}).(Tuple)
+	return t, true
+}
+
+// Remove deletes the entry with the given id, reporting whether it was
+// present.
+func (h *Heap) Remove(id int) bool {
+	i, ok := h.pos[id]
+	if !ok {
+		return false
+	}
+	heap.Remove(hi{h}, i)
+	return true
+}
+
+// Contains reports whether an entry with the given id is present.
+func (h *Heap) Contains(id int) bool {
+	_, ok := h.pos[id]
+	return ok
+}
+
+// Gain returns the stored gain for id. The second result is false when
+// id is absent.
+func (h *Heap) Gain(id int) (float64, bool) {
+	i, ok := h.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return h.entries[i].Gain, true
+}
+
+// IDs returns the ids of all entries in unspecified order. It allocates;
+// intended for tests and diagnostics.
+func (h *Heap) IDs() []int {
+	out := make([]int, 0, len(h.entries))
+	for _, e := range h.entries {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// hi adapts Heap to container/heap.Interface. A value wrapper is enough
+// because it only holds a pointer.
+type hi struct{ h *Heap }
+
+func (w hi) Len() int { return len(w.h.entries) }
+
+func (w hi) Less(i, j int) bool {
+	// Max-heap by gain; ties broken by smaller id for determinism.
+	a, b := w.h.entries[i], w.h.entries[j]
+	if a.Gain != b.Gain {
+		return a.Gain > b.Gain
+	}
+	return a.ID < b.ID
+}
+
+func (w hi) Swap(i, j int) {
+	e := w.h.entries
+	e[i], e[j] = e[j], e[i]
+	w.h.pos[e[i].ID] = i
+	w.h.pos[e[j].ID] = j
+}
+
+func (w hi) Push(x any) {
+	t := x.(Tuple)
+	w.h.pos[t.ID] = len(w.h.entries)
+	w.h.entries = append(w.h.entries, t)
+}
+
+func (w hi) Pop() any {
+	old := w.h.entries
+	n := len(old)
+	t := old[n-1]
+	w.h.entries = old[:n-1]
+	delete(w.h.pos, t.ID)
+	return t
+}

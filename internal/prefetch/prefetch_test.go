@@ -1,0 +1,257 @@
+package prefetch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geosel/internal/dataset"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+)
+
+func testStore(t *testing.T, n int, seed int64) *geodata.Store {
+	t.Helper()
+	store, err := dataset.GenerateStore(dataset.POISpec(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// exactMarginal computes the true unnormalized initial marginal gain of
+// candidate c over the objects at onPos, with the forced set dPos
+// already absorbed — the quantity the bounds must dominate.
+func exactMarginal(col *geodata.Collection, onPos, dPos []int, c int, m sim.Metric) float64 {
+	var gain float64
+	for _, p := range onPos {
+		best := 0.0
+		for _, d := range dPos {
+			if v := m.Sim(&col.Objects[p], &col.Objects[d]); v > best {
+				best = v
+			}
+		}
+		if v := m.Sim(&col.Objects[p], &col.Objects[c]); v > best {
+			gain += col.Objects[p].Weight * (v - best)
+		}
+	}
+	return gain
+}
+
+func TestZoomInBoundsAreUpperBounds(t *testing.T) {
+	// Lemma 5.1: the prefetched bound dominates the true marginal gain
+	// for any zoom-in target and any forced set.
+	store := testStore(t, 3000, 1)
+	col := store.Collection()
+	m := sim.Cosine{}
+	rng := rand.New(rand.NewSource(2))
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	bounds := ZoomInBounds(store, region, m)
+	for trial := 0; trial < 10; trial++ {
+		inner, err := dataset.RandomZoomIn(region, 0.3+rng.Float64()*0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onPos := store.Region(inner)
+		if len(onPos) == 0 {
+			continue
+		}
+		// Random forced subset.
+		var dPos []int
+		for _, p := range onPos {
+			if rng.Intn(10) == 0 {
+				dPos = append(dPos, p)
+			}
+		}
+		for _, c := range onPos {
+			b, ok := bounds[c]
+			if !ok {
+				t.Fatalf("object %d in zoom target missing from bounds", c)
+			}
+			if g := exactMarginal(col, onPos, dPos, c, m); b < g-1e-9 {
+				t.Fatalf("bound %v below true marginal %v for candidate %d", b, g, c)
+			}
+		}
+	}
+}
+
+func TestZoomOutBoundsAreUpperBounds(t *testing.T) {
+	store := testStore(t, 3000, 3)
+	col := store.Collection()
+	m := sim.Cosine{}
+	rng := rand.New(rand.NewSource(4))
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.1)
+	vp := geo.NewViewport(geo.WorldUnit, region)
+	const maxScale = 2
+	bounds := ZoomOutBounds(store, vp, maxScale, m)
+	for trial := 0; trial < 10; trial++ {
+		outer, err := dataset.RandomZoomOut(region, 1.2+rng.Float64()*(maxScale-1.2), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onPos := store.Region(outer)
+		for _, c := range onPos {
+			b, ok := bounds[c]
+			if !ok {
+				t.Fatalf("object %d in zoom-out target missing from bounds", c)
+			}
+			if g := exactMarginal(col, onPos, nil, c, m); b < g-1e-9 {
+				t.Fatalf("bound %v below true marginal %v", b, g)
+			}
+		}
+	}
+}
+
+func TestPanBoundsAreUpperBounds(t *testing.T) {
+	store := testStore(t, 3000, 5)
+	col := store.Collection()
+	m := sim.Cosine{}
+	rng := rand.New(rand.NewSource(6))
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.12)
+	vp := geo.NewViewport(geo.WorldUnit, region)
+	bounds := PanBounds(store, vp, m)
+	for trial := 0; trial < 10; trial++ {
+		d, err := dataset.RandomPan(region, 0.2+rng.Float64()*0.8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRegion := region.Translate(d)
+		onPos := store.Region(newRegion)
+		var dPos []int
+		for _, p := range onPos {
+			if region.Contains(col.Objects[p].Loc) && rng.Intn(5) == 0 {
+				dPos = append(dPos, p)
+			}
+		}
+		for _, c := range onPos {
+			b, ok := bounds[c]
+			if !ok {
+				t.Fatalf("object %d in pan target missing from bounds", c)
+			}
+			if g := exactMarginal(col, onPos, dPos, c, m); b < g-1e-9 {
+				t.Fatalf("bound %v below true marginal %v", b, g)
+			}
+		}
+	}
+}
+
+func TestTiledBoundsAreUpperBoundsAndTighter(t *testing.T) {
+	store := testStore(t, 3000, 7)
+	col := store.Collection()
+	m := sim.Cosine{}
+	rng := rand.New(rand.NewSource(8))
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	envPos := store.Region(region)
+	plain := PairwiseBounds(col, envPos, m)
+	tiled, err := NewTiled(col, envPos, region, 8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		inner, err := dataset.RandomZoomIn(region, 0.2+rng.Float64()*0.6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := tiled.BoundsFor(inner)
+		onPos := store.Region(inner)
+		for _, c := range onPos {
+			b, ok := tb[c]
+			if !ok {
+				t.Fatalf("object %d missing from tiled bounds", c)
+			}
+			if g := exactMarginal(col, onPos, nil, c, m); b < g-1e-9 {
+				t.Fatalf("tiled bound %v below true marginal %v", b, g)
+			}
+			if b > plain[c]+1e-9 {
+				t.Fatalf("tiled bound %v exceeds plain bound %v", b, plain[c])
+			}
+		}
+	}
+	// Full-envelope query: tiled equals plain.
+	full := tiled.BoundsFor(region)
+	for _, p := range envPos {
+		if math.Abs(full[p]-plain[p]) > 1e-6 {
+			t.Fatalf("full-envelope tiled %v != plain %v", full[p], plain[p])
+		}
+	}
+}
+
+func TestTiledFinerTilesTighter(t *testing.T) {
+	store := testStore(t, 2000, 9)
+	col := store.Collection()
+	m := sim.Cosine{}
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	envPos := store.Region(region)
+	coarse, err := NewTiled(col, envPos, region, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := NewTiled(col, envPos, region, 16, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An inner region deliberately misaligned with the 4×4 tile grid, so
+	// the coarse cover overshoots where the fine cover does not.
+	inner := geo.RectAround(geo.Pt(0.52, 0.47), 0.07)
+	cb := coarse.BoundsFor(inner)
+	fb := fine.BoundsFor(inner)
+	sumCoarse, sumFine := 0.0, 0.0
+	for _, p := range envPos {
+		if fb[p] > cb[p]+1e-9 {
+			t.Fatalf("finer tiles gave looser bound: %v > %v", fb[p], cb[p])
+		}
+		sumCoarse += cb[p]
+		sumFine += fb[p]
+	}
+	if sumFine >= sumCoarse {
+		t.Error("finer tiling should be strictly tighter in aggregate")
+	}
+}
+
+func TestNewTiledValidation(t *testing.T) {
+	store := testStore(t, 100, 10)
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	if _, err := NewTiled(store.Collection(), nil, region, 0, sim.Cosine{}); err == nil {
+		t.Error("tilesPerSide 0 should fail")
+	}
+	bad := geo.Rect{Min: geo.Pt(1, 1), Max: geo.Pt(0, 0)}
+	if _, err := NewTiled(store.Collection(), nil, bad, 4, sim.Cosine{}); err == nil {
+		t.Error("invalid envelope should fail")
+	}
+	tl, err := NewTiled(store.Collection(), nil, region, 4, sim.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Envelope() != region {
+		t.Error("Envelope mismatch")
+	}
+	if got := tl.BoundsFor(region); len(got) != 0 {
+		t.Errorf("empty position list should give empty bounds, got %d", len(got))
+	}
+}
+
+func TestPairwiseBoundsEmpty(t *testing.T) {
+	store := testStore(t, 10, 11)
+	if got := PairwiseBounds(store.Collection(), nil, sim.Cosine{}); len(got) != 0 {
+		t.Errorf("empty envelope should give empty bounds, got %d", len(got))
+	}
+}
+
+func TestPanBoundsSubsetOfPairwise(t *testing.T) {
+	// Lemma 5.3's per-object window restriction can only tighten the
+	// plain envelope bound.
+	store := testStore(t, 1500, 12)
+	m := sim.Cosine{}
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.1)
+	vp := geo.NewViewport(geo.WorldUnit, region)
+	env := vp.PanEnvelope()
+	envPos := store.Region(env)
+	plain := PairwiseBounds(store.Collection(), envPos, m)
+	pan := PanBounds(store, vp, m)
+	for _, p := range envPos {
+		if pan[p] > plain[p]+1e-9 {
+			t.Fatalf("pan bound %v exceeds plain envelope bound %v", pan[p], plain[p])
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package quadtree implements a bucket PR quadtree over points — the
+// classic alternative to the R-tree for the region queries that feed
+// the selection algorithms. It exists for the index ablation
+// (BenchmarkAblationSpatialIndex): the paper uses an R-tree; the
+// quadtree shows what that choice is worth on the clustered point
+// distributions of geo-tagged data.
+package quadtree
+
+import (
+	"fmt"
+
+	"geosel/internal/geo"
+)
+
+const (
+	// defaultBucket is the leaf capacity before subdivision.
+	defaultBucket = 32
+	// maxDepth caps subdivision so coincident points cannot recurse
+	// forever; leaves at maxDepth grow beyond the bucket size.
+	maxDepth = 32
+)
+
+// Tree is a PR quadtree. Create one with New; the zero value is not
+// usable (the tree needs its bounds up front).
+type Tree struct {
+	root   *node
+	bounds geo.Rect
+	bucket int
+	size   int
+}
+
+type entry struct {
+	id int
+	pt geo.Point
+}
+
+type node struct {
+	bounds   geo.Rect
+	entries  []entry  // leaf payload (nil for internal nodes)
+	children *[4]node // nil for leaves
+	depth    int
+}
+
+// New returns an empty quadtree covering bounds with the default
+// bucket size.
+func New(bounds geo.Rect) (*Tree, error) {
+	return NewWithBucket(bounds, defaultBucket)
+}
+
+// NewWithBucket returns an empty quadtree with the given leaf capacity
+// (minimum 1).
+func NewWithBucket(bounds geo.Rect, bucket int) (*Tree, error) {
+	if !bounds.Valid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("quadtree: invalid bounds %v", bounds)
+	}
+	if bucket < 1 {
+		bucket = 1
+	}
+	return &Tree{
+		root:   &node{bounds: bounds},
+		bounds: bounds,
+		bucket: bucket,
+	}, nil
+}
+
+// Len reports the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the tree's coverage rectangle.
+func (t *Tree) Bounds() geo.Rect { return t.bounds }
+
+// Insert adds a point. Points outside the tree bounds are rejected
+// with an error (a quadtree cannot grow).
+func (t *Tree) Insert(id int, p geo.Point) error {
+	if !t.bounds.Contains(p) {
+		return fmt.Errorf("quadtree: point %v outside bounds %v", p, t.bounds)
+	}
+	t.root.insert(entry{id: id, pt: p}, t.bucket)
+	t.size++
+	return nil
+}
+
+func (n *node) insert(e entry, bucket int) {
+	for {
+		if n.children == nil {
+			n.entries = append(n.entries, e)
+			if len(n.entries) > bucket && n.depth < maxDepth {
+				n.split(bucket)
+			}
+			return
+		}
+		n = &n.children[n.quadrant(e.pt)]
+	}
+}
+
+// quadrant maps a point to the child index: 0=SW 1=SE 2=NW 3=NE.
+func (n *node) quadrant(p geo.Point) int {
+	c := n.bounds.Center()
+	q := 0
+	if p.X >= c.X {
+		q |= 1
+	}
+	if p.Y >= c.Y {
+		q |= 2
+	}
+	return q
+}
+
+func (n *node) split(bucket int) {
+	c := n.bounds.Center()
+	b := n.bounds
+	n.children = &[4]node{
+		{bounds: geo.Rect{Min: b.Min, Max: c}, depth: n.depth + 1},
+		{bounds: geo.Rect{Min: geo.Pt(c.X, b.Min.Y), Max: geo.Pt(b.Max.X, c.Y)}, depth: n.depth + 1},
+		{bounds: geo.Rect{Min: geo.Pt(b.Min.X, c.Y), Max: geo.Pt(c.X, b.Max.Y)}, depth: n.depth + 1},
+		{bounds: geo.Rect{Min: c, Max: b.Max}, depth: n.depth + 1},
+	}
+	entries := n.entries
+	n.entries = nil
+	for _, e := range entries {
+		n.children[n.quadrant(e.pt)].insert(e, bucket)
+	}
+}
+
+// Remove deletes the point with the given id at p, reporting whether
+// it was found. Empty subtrees are not collapsed (removal is rare in
+// the read-mostly workloads this index serves).
+func (t *Tree) Remove(id int, p geo.Point) bool {
+	n := t.root
+	for n.children != nil {
+		n = &n.children[n.quadrant(p)]
+	}
+	for i, e := range n.entries {
+		if e.id == id && e.pt == p {
+			last := len(n.entries) - 1
+			n.entries[i] = n.entries[last]
+			n.entries = n.entries[:last]
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Search calls fn for every point inside query; iteration stops early
+// when fn returns false.
+func (t *Tree) Search(query geo.Rect, fn func(id int, p geo.Point) bool) {
+	t.root.search(query, fn)
+}
+
+func (n *node) search(query geo.Rect, fn func(int, geo.Point) bool) bool {
+	if !n.bounds.Intersects(query) {
+		return true
+	}
+	if n.children == nil {
+		for _, e := range n.entries {
+			if query.Contains(e.pt) {
+				if !fn(e.id, e.pt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := range n.children {
+		if !n.children[i].search(query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchCollect returns the ids of all points inside query.
+func (t *Tree) SearchCollect(query geo.Rect) []int {
+	var out []int
+	t.Search(query, func(id int, _ geo.Point) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of points inside query.
+func (t *Tree) Count(query geo.Rect) int {
+	n := 0
+	t.Search(query, func(int, geo.Point) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Depth returns the maximum leaf depth (diagnostics).
+func (t *Tree) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n.children == nil {
+			return n.depth
+		}
+		d := n.depth
+		for i := range n.children {
+			if c := walk(&n.children[i]); c > d {
+				d = c
+			}
+		}
+		return d
+	}
+	return walk(t.root)
+}
+
+// CheckInvariants validates structural invariants: every entry lies in
+// its leaf's bounds, internal nodes carry no entries, leaf sizes
+// respect the bucket (except at maxDepth), and Len matches the
+// reachable count.
+func (t *Tree) CheckInvariants() error {
+	count := 0
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.children != nil {
+			if len(n.entries) != 0 {
+				return fmt.Errorf("quadtree: internal node holds %d entries", len(n.entries))
+			}
+			for i := range n.children {
+				if err := walk(&n.children[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if len(n.entries) > t.bucket && n.depth < maxDepth {
+			return fmt.Errorf("quadtree: leaf with %d entries above bucket %d at depth %d",
+				len(n.entries), t.bucket, n.depth)
+		}
+		for _, e := range n.entries {
+			if !n.bounds.Contains(e.pt) {
+				return fmt.Errorf("quadtree: entry %d at %v outside leaf bounds %v", e.id, e.pt, n.bounds)
+			}
+			count++
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("quadtree: size %d but %d reachable entries", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package quadtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"geosel/internal/geo"
+)
+
+func mustTree(t *testing.T, bucket int) *Tree {
+	t.Helper()
+	tr, err := NewWithBucket(geo.WorldUnit, bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geo.Rect{Min: geo.Pt(1, 1), Max: geo.Pt(0, 0)}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := New(geo.Rect{}); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+	tr, err := NewWithBucket(geo.WorldUnit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.bucket != 1 {
+		t.Errorf("bucket clamped to %d, want 1", tr.bucket)
+	}
+	if tr.Bounds() != geo.WorldUnit {
+		t.Error("Bounds mismatch")
+	}
+}
+
+func TestInsertOutsideBounds(t *testing.T) {
+	tr := mustTree(t, 4)
+	if err := tr.Insert(1, geo.Pt(2, 2)); err == nil {
+		t.Error("out-of-bounds insert accepted")
+	}
+	if tr.Len() != 0 {
+		t.Error("failed insert changed size")
+	}
+}
+
+func TestSearchAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bucket := range []int{1, 4, 32} {
+		tr := mustTree(t, bucket)
+		pts := make([]geo.Point, 1500)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64(), rng.Float64())
+			if err := tr.Insert(i, pts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("bucket %d: %v", bucket, err)
+		}
+		for q := 0; q < 40; q++ {
+			r := geo.RectAround(geo.Pt(rng.Float64(), rng.Float64()), rng.Float64()*0.25)
+			got := tr.SearchCollect(r)
+			sort.Ints(got)
+			var want []int
+			for i, p := range pts {
+				if r.Contains(p) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("bucket %d: got %d, want %d", bucket, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bucket %d: mismatch at %d", bucket, i)
+				}
+			}
+			if c := tr.Count(r); c != len(want) {
+				t.Fatalf("Count = %d, want %d", c, len(want))
+			}
+		}
+	}
+}
+
+func TestDuplicatePointsCapDepth(t *testing.T) {
+	tr := mustTree(t, 2)
+	p := geo.Pt(0.3, 0.3)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > maxDepth {
+		t.Errorf("depth %d exceeds cap", d)
+	}
+	got := tr.SearchCollect(geo.RectAround(p, 1e-9))
+	if len(got) != 200 {
+		t.Errorf("found %d duplicates, want 200", len(got))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := mustTree(t, 8)
+	pts := make([]geo.Point, 500)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64(), rng.Float64())
+		if err := tr.Insert(i, pts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 250; i++ {
+		if !tr.Remove(i, pts[i]) {
+			t.Fatalf("remove %d failed", i)
+		}
+	}
+	if tr.Remove(0, pts[0]) {
+		t.Error("double remove succeeded")
+	}
+	if tr.Remove(300, pts[301]) {
+		t.Error("remove with wrong location succeeded")
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchCollect(geo.WorldUnit)
+	sort.Ints(got)
+	for i, id := range got {
+		if id != 250+i {
+			t.Fatalf("contents wrong at %d: %d", i, id)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := mustTree(t, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		tr.Insert(i, geo.Pt(rng.Float64(), rng.Float64()))
+	}
+	calls := 0
+	tr.Search(geo.WorldUnit, func(int, geo.Point) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Errorf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestEdgeRouting(t *testing.T) {
+	// Points exactly on quadrant boundaries must remain findable.
+	tr := mustTree(t, 1)
+	pts := []geo.Point{
+		geo.Pt(0.5, 0.5), geo.Pt(0.5, 0.25), geo.Pt(0.25, 0.5),
+		geo.Pt(0.5, 0.75), geo.Pt(0.75, 0.5), geo.Pt(0, 0), geo.Pt(1, 1),
+	}
+	for i, p := range pts {
+		if err := tr.Insert(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		found := false
+		tr.Search(geo.RectAround(p, 1e-12), func(id int, _ geo.Point) bool {
+			if id == i {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("boundary point %d at %v lost", i, p)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"geosel/internal/geo"
+)
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive (STR)
+// packing, which produces near-optimal leaves for static point sets. The
+// input slice is reordered in place. The returned tree uses the default
+// node capacity; use BulkLoadWithCapacity to tune it.
+func BulkLoad(items []Item) *Tree {
+	return BulkLoadWithCapacity(items, defaultMaxEntries)
+}
+
+// BulkLoadWithCapacity is BulkLoad with an explicit node capacity.
+func BulkLoadWithCapacity(items []Item, max int) *Tree {
+	t := NewWithCapacity(max)
+	if len(items) == 0 {
+		return t
+	}
+	t.size = len(items)
+
+	// Pack leaves with STR: sort by center X, cut into vertical slices of
+	// ~sqrt(n/max) each, sort each slice by center Y, and fill leaves.
+	leaves := strPackLeaves(items, t.max)
+
+	// Pack upper levels the same way until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		level = strPackNodes(level, t.max)
+	}
+	t.root = level[0]
+	return t
+}
+
+func strPackLeaves(items []Item, max int) []*node {
+	n := len(items)
+	leafCount := (n + max - 1) / max
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * max
+
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].Rect.Center().X < items[j].Rect.Center().X
+	})
+
+	var leaves []*node
+	for s := 0; s < n; s += sliceSize {
+		end := s + sliceSize
+		if end > n {
+			end = n
+		}
+		slice := items[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		for l := 0; l < len(slice); l += max {
+			lend := l + max
+			if lend > len(slice) {
+				lend = len(slice)
+			}
+			leaf := &node{leaf: true, items: append([]Item(nil), slice[l:lend]...)}
+			leaf.recomputeRect()
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func strPackNodes(nodes []*node, max int) []*node {
+	n := len(nodes)
+	parentCount := (n + max - 1) / max
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	sliceSize := sliceCount * max
+
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].rect.Center().X < nodes[j].rect.Center().X
+	})
+
+	var parents []*node
+	for s := 0; s < n; s += sliceSize {
+		end := s + sliceSize
+		if end > n {
+			end = n
+		}
+		slice := nodes[s:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Y < slice[j].rect.Center().Y
+		})
+		for l := 0; l < len(slice); l += max {
+			lend := l + max
+			if lend > len(slice) {
+				lend = len(slice)
+			}
+			p := &node{children: append([]*node(nil), slice[l:lend]...)}
+			p.recomputeRect()
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// BulkLoadPoints is a convenience wrapper that indexes points with ids
+// equal to their slice positions.
+func BulkLoadPoints(pts []geo.Point) *Tree {
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = PointItem(i, p)
+	}
+	return BulkLoad(items)
+}

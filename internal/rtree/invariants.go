@@ -1,0 +1,90 @@
+package rtree
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns a descriptive error on the first violation. It is exported so
+// property tests in other packages can assert index health after
+// arbitrary operation sequences. Checked invariants:
+//
+//   - every node's rectangle is the exact union of its entries;
+//   - no node exceeds the maximum capacity;
+//   - no non-root node is empty (bulk-loaded trees may carry one
+//     trailing underfull — but never empty — node per level);
+//   - all leaves are at the same depth;
+//   - Len() matches the number of reachable items.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("rtree: nil root but size %d", t.size)
+		}
+		return nil
+	}
+	leafDepth := -1
+	count := 0
+	var walk func(n *node, depth int, isRoot bool) error
+	walk = func(n *node, depth int, isRoot bool) error {
+		if n.entryCount() > t.max {
+			return fmt.Errorf("rtree: node with %d entries exceeds max %d", n.entryCount(), t.max)
+		}
+		if !isRoot && n.entryCount() == 0 {
+			return fmt.Errorf("rtree: empty non-root node at depth %d", depth)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			count += len(n.items)
+			if len(n.items) > 0 {
+				r := n.items[0].Rect
+				for _, it := range n.items[1:] {
+					r = r.Union(it.Rect)
+				}
+				if r != n.rect {
+					return fmt.Errorf("rtree: leaf rect %v != union of items %v", n.rect, r)
+				}
+			}
+			return nil
+		}
+		if len(n.children) == 0 {
+			return fmt.Errorf("rtree: internal node with no children")
+		}
+		r := n.children[0].rect
+		for _, c := range n.children[1:] {
+			r = r.Union(c.rect)
+		}
+		if r != n.rect {
+			return fmt.Errorf("rtree: node rect %v != union of children %v", n.rect, r)
+		}
+		for _, c := range n.children {
+			if err := walk(c, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size %d but %d reachable items", t.size, count)
+	}
+	return nil
+}
+
+// Depth returns the height of the tree (a single leaf root has depth 1,
+// an empty tree 0). Intended for diagnostics and tests.
+func (t *Tree) Depth() int {
+	if t.root == nil {
+		return 0
+	}
+	d := 1
+	n := t.root
+	for !n.leaf {
+		d++
+		n = n.children[0]
+	}
+	return d
+}

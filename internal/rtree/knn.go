@@ -1,0 +1,73 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"geosel/internal/geo"
+)
+
+// Neighbor is one result of a nearest-neighbor query.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// knnEntry is a priority-queue element for best-first kNN traversal: it
+// holds either a node or an item, ordered by minimum distance to the
+// query point.
+type knnEntry struct {
+	dist float64
+	node *node
+	item Item
+	leaf bool // true when item is set
+}
+
+type knnQueue []knnEntry
+
+func (q knnQueue) Len() int           { return len(q) }
+func (q knnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q knnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x any)        { *q = append(*q, x.(knnEntry)) }
+func (q *knnQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *knnQueue) push(e knnEntry)   { heap.Push(q, e) }
+func (q *knnQueue) popMin() knnEntry  { return heap.Pop(q).(knnEntry) }
+
+// Nearest returns the k items closest to p in ascending distance order,
+// using the classic best-first (Hjaltason–Samet) traversal. Fewer than k
+// results are returned when the tree holds fewer items.
+func (t *Tree) Nearest(p geo.Point, k int) []Neighbor {
+	if t.root == nil || k <= 0 || t.size == 0 {
+		return nil
+	}
+	q := make(knnQueue, 0, 64)
+	q.push(knnEntry{dist: t.root.rect.DistToPoint(p), node: t.root})
+	out := make([]Neighbor, 0, k)
+	for len(q) > 0 && len(out) < k {
+		e := q.popMin()
+		if e.leaf {
+			out = append(out, Neighbor{Item: e.item, Dist: e.dist})
+			continue
+		}
+		n := e.node
+		if n.leaf {
+			for _, it := range n.items {
+				q.push(knnEntry{dist: it.Rect.DistToPoint(p), item: it, leaf: true})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			q.push(knnEntry{dist: c.rect.DistToPoint(p), node: c})
+		}
+	}
+	return out
+}
+
+// NearestOne returns the closest item to p; ok is false when the tree is
+// empty.
+func (t *Tree) NearestOne(p geo.Point) (Neighbor, bool) {
+	r := t.Nearest(p, 1)
+	if len(r) == 0 {
+		return Neighbor{}, false
+	}
+	return r[0], true
+}

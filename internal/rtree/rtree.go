@@ -1,0 +1,478 @@
+// Package rtree implements an R-tree over planar rectangles and points,
+// built from scratch on the classic Guttman design: ChooseLeaf by least
+// area enlargement, quadratic node split, and condense-tree deletion with
+// reinsertion. STR (Sort-Tile-Recursive) bulk loading is provided in
+// bulkload.go for the read-mostly workloads of the paper, where the
+// dataset is indexed once and then queried with viewport region queries.
+package rtree
+
+import (
+	"geosel/internal/geo"
+)
+
+// Default node capacity. 32 balances fan-out and split cost for the
+// point-heavy workloads in this repository.
+const (
+	defaultMaxEntries = 32
+)
+
+// Item is one indexed record: a bounding rectangle (a degenerate Rect for
+// points) and an integer id chosen by the caller.
+type Item struct {
+	Rect geo.Rect
+	ID   int
+}
+
+// PointItem builds an Item for a point record.
+func PointItem(id int, p geo.Point) Item {
+	return Item{Rect: geo.Rect{Min: p, Max: p}, ID: id}
+}
+
+type node struct {
+	leaf     bool
+	rect     geo.Rect
+	children []*node // internal nodes
+	items    []Item  // leaf nodes
+}
+
+func (n *node) entryCount() int {
+	if n.leaf {
+		return len(n.items)
+	}
+	return len(n.children)
+}
+
+func (n *node) recomputeRect() {
+	if n.leaf {
+		if len(n.items) == 0 {
+			n.rect = geo.Rect{}
+			return
+		}
+		r := n.items[0].Rect
+		for _, it := range n.items[1:] {
+			r = r.Union(it.Rect)
+		}
+		n.rect = r
+		return
+	}
+	if len(n.children) == 0 {
+		n.rect = geo.Rect{}
+		return
+	}
+	r := n.children[0].rect
+	for _, c := range n.children[1:] {
+		r = r.Union(c.rect)
+	}
+	n.rect = r
+}
+
+// Tree is an R-tree. The zero value is empty and ready to use with the
+// default node capacity; use NewWithCapacity to tune fan-out.
+type Tree struct {
+	root *node
+	size int
+	max  int // max entries per node
+	min  int // min entries per node (max*2/5, Guttman's 40%)
+}
+
+// New returns an empty tree with the default node capacity.
+func New() *Tree { return NewWithCapacity(defaultMaxEntries) }
+
+// NewWithCapacity returns an empty tree whose nodes hold at most max
+// entries; max must be at least 4.
+func NewWithCapacity(max int) *Tree {
+	if max < 4 {
+		max = 4
+	}
+	min := max * 2 / 5
+	if min < 2 {
+		min = 2
+	}
+	return &Tree{max: max, min: min}
+}
+
+func (t *Tree) lazyInit() {
+	if t.max == 0 {
+		t.max = defaultMaxEntries
+		t.min = t.max * 2 / 5
+	}
+}
+
+// Len reports the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the minimum bounding rectangle of all stored items and
+// false when the tree is empty.
+func (t *Tree) Bounds() (geo.Rect, bool) {
+	if t.root == nil || t.size == 0 {
+		return geo.Rect{}, false
+	}
+	return t.root.rect, true
+}
+
+// Insert adds an item.
+func (t *Tree) Insert(it Item) {
+	t.lazyInit()
+	if t.root == nil {
+		t.root = &node{leaf: true, rect: it.Rect}
+	}
+	sibling := t.insert(t.root, it)
+	if sibling != nil {
+		old := t.root
+		t.root = &node{children: []*node{old, sibling}}
+		t.root.recomputeRect()
+	}
+	t.size++
+}
+
+// insert descends recursively and returns a new sibling node when n had
+// to be split on the way back up, nil otherwise.
+func (t *Tree) insert(n *node, it Item) *node {
+	n.rect = n.rect.Union(it.Rect)
+	if n.entryCount() == 0 {
+		n.rect = it.Rect
+	}
+	if n.leaf {
+		n.items = append(n.items, it)
+		if len(n.items) > t.max {
+			left, right := t.splitNode(n)
+			*n = *left
+			return right
+		}
+		return nil
+	}
+	child := n.children[chooseSubtree(n.children, it.Rect)]
+	if sibling := t.insert(child, it); sibling != nil {
+		n.children = append(n.children, sibling)
+		if len(n.children) > t.max {
+			left, right := t.splitNode(n)
+			*n = *left
+			return right
+		}
+	}
+	return nil
+}
+
+// path caches parent pointers during a root-to-leaf descent. The tree
+// stores no parent links, so operations that need to walk back up record
+// the path as they descend.
+type pathEntry struct {
+	n   *node
+	idx int // index of the child taken within n.children
+}
+
+// chooseSubtree picks the child needing least area enlargement to
+// accommodate r, resolving ties by smaller area.
+func chooseSubtree(children []*node, r geo.Rect) int {
+	best := -1
+	bestEnl, bestArea := 0.0, 0.0
+	for i, c := range children {
+		enl := c.rect.EnlargementArea(r)
+		area := c.rect.Area()
+		if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode divides an overfull node using Guttman's quadratic split and
+// returns the two resulting nodes.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	if n.leaf {
+		groups := quadraticSplit(len(n.items), t.min, func(i int) geo.Rect { return n.items[i].Rect })
+		a := &node{leaf: true}
+		b := &node{leaf: true}
+		for _, i := range groups[0] {
+			a.items = append(a.items, n.items[i])
+		}
+		for _, i := range groups[1] {
+			b.items = append(b.items, n.items[i])
+		}
+		a.recomputeRect()
+		b.recomputeRect()
+		return a, b
+	}
+	groups := quadraticSplit(len(n.children), t.min, func(i int) geo.Rect { return n.children[i].rect })
+	a := &node{}
+	b := &node{}
+	for _, i := range groups[0] {
+		a.children = append(a.children, n.children[i])
+	}
+	for _, i := range groups[1] {
+		b.children = append(b.children, n.children[i])
+	}
+	a.recomputeRect()
+	b.recomputeRect()
+	return a, b
+}
+
+// quadraticSplit partitions indices [0,n) into two groups following
+// Guttman's quadratic method: pick the two seeds wasting the most area if
+// grouped together, then repeatedly assign the entry with the greatest
+// preference difference, honoring the minimum fill m.
+func quadraticSplit(n, m int, rectOf func(int) geo.Rect) [2][]int {
+	// Pick seeds.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ri, rj := rectOf(i), rectOf(j)
+			d := ri.Union(rj).Area() - ri.Area() - rj.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA := []int{seedA}
+	groupB := []int{seedB}
+	rectA, rectB := rectOf(seedA), rectOf(seedB)
+	assigned := make([]bool, n)
+	assigned[seedA], assigned[seedB] = true, true
+	remaining := n - 2
+
+	for remaining > 0 {
+		// If one group must take all remaining entries to reach min fill,
+		// assign them wholesale.
+		if len(groupA)+remaining == m {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					groupA = append(groupA, i)
+					rectA = rectA.Union(rectOf(i))
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		if len(groupB)+remaining == m {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					groupB = append(groupB, i)
+					rectB = rectB.Union(rectOf(i))
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		// Pick the unassigned entry maximizing |d1-d2|.
+		best, bestDiff := -1, -1.0
+		var bestD1, bestD2 float64
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			r := rectOf(i)
+			d1 := rectA.EnlargementArea(r)
+			d2 := rectB.EnlargementArea(r)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				best, bestDiff, bestD1, bestD2 = i, diff, d1, d2
+			}
+		}
+		r := rectOf(best)
+		toA := bestD1 < bestD2
+		if bestD1 == bestD2 {
+			// Tie: smaller area, then fewer entries.
+			switch {
+			case rectA.Area() != rectB.Area():
+				toA = rectA.Area() < rectB.Area()
+			default:
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, best)
+			rectA = rectA.Union(r)
+		} else {
+			groupB = append(groupB, best)
+			rectB = rectB.Union(r)
+		}
+		assigned[best] = true
+		remaining--
+	}
+	return [2][]int{groupA, groupB}
+}
+
+// Delete removes the item with the given id and rectangle, reporting
+// whether it was found. Points must be deleted with the same degenerate
+// rectangle used at insert time.
+func (t *Tree) Delete(it Item) bool {
+	if t.root == nil {
+		return false
+	}
+	leaf, path := t.findLeaf(t.root, nil, it)
+	if leaf == nil {
+		return false
+	}
+	// Remove the item from the leaf.
+	for i, li := range leaf.items {
+		if li.ID == it.ID && li.Rect == it.Rect {
+			leaf.items = append(leaf.items[:i], leaf.items[i+1:]...)
+			break
+		}
+	}
+	t.size--
+	t.condenseTree(leaf, path)
+	return true
+}
+
+// findLeaf locates the leaf containing it, returning the leaf and the
+// descent path.
+func (t *Tree) findLeaf(n *node, path []pathEntry, it Item) (*node, []pathEntry) {
+	if n.leaf {
+		for _, li := range n.items {
+			if li.ID == it.ID && li.Rect == it.Rect {
+				return n, path
+			}
+		}
+		return nil, nil
+	}
+	for i, c := range n.children {
+		if c.rect.ContainsRect(it.Rect) {
+			if leaf, p := t.findLeaf(c, append(path, pathEntry{n, i}), it); leaf != nil {
+				return leaf, p
+			}
+		}
+	}
+	return nil, nil
+}
+
+// condenseTree walks back up from a shrunken leaf: underfull nodes are
+// removed and their entries reinserted; rectangles are tightened.
+func (t *Tree) condenseTree(leaf *node, path []pathEntry) {
+	var orphanItems []Item
+	var orphanNodes []*node
+
+	n := leaf
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i].n
+		if n.entryCount() < t.min {
+			// Drop n from parent, stash entries for reinsertion.
+			for j, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:j], parent.children[j+1:]...)
+					break
+				}
+			}
+			if n.leaf {
+				orphanItems = append(orphanItems, n.items...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		} else {
+			n.recomputeRect()
+		}
+		n = parent
+	}
+	t.root.recomputeRect()
+
+	// Shrink the root: if it is an internal node with one child, promote.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true}
+	}
+
+	// Reinsert orphans. Items go through the normal path; orphaned
+	// subtree children have their leaf items reinserted one by one (a
+	// simple, correct strategy; bulk reattachment is an optimization the
+	// workloads here do not need).
+	for _, c := range orphanNodes {
+		collectItems(c, &orphanItems)
+	}
+	t.size -= len(orphanItems)
+	for _, it := range orphanItems {
+		t.Insert(it)
+	}
+}
+
+func collectItems(n *node, out *[]Item) {
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, out)
+	}
+}
+
+// Search calls fn for every item whose rectangle intersects query.
+// Iteration stops early if fn returns false.
+func (t *Tree) Search(query geo.Rect, fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	searchNode(t.root, query, fn)
+}
+
+func searchNode(n *node, query geo.Rect, fn func(Item) bool) bool {
+	if !n.rect.Intersects(query) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if query.Intersects(it.Rect) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchCollect returns all items intersecting query.
+func (t *Tree) SearchCollect(query geo.Rect) []Item {
+	var out []Item
+	t.Search(query, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of items intersecting query without
+// materializing them.
+func (t *Tree) Count(query geo.Rect) int {
+	n := 0
+	t.Search(query, func(Item) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// All calls fn for every stored item.
+func (t *Tree) All(fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			for _, it := range n.items {
+				if !fn(it) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}

@@ -1,0 +1,407 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"geosel/internal/geo"
+)
+
+func randPoints(rng *rand.Rand, n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+func idsOf(items []Item) []int {
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func bruteRange(pts []geo.Point, q geo.Rect) []int {
+	var ids []int
+	for i, p := range pts {
+		if q.Contains(p) {
+			ids = append(ids, i)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("new tree should be empty")
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Error("empty tree should have no bounds")
+	}
+	if got := tr.SearchCollect(geo.WorldUnit); len(got) != 0 {
+		t.Error("search on empty tree should find nothing")
+	}
+	if got := tr.Nearest(geo.Pt(0.5, 0.5), 3); len(got) != 0 {
+		t.Error("kNN on empty tree should find nothing")
+	}
+	if tr.Delete(PointItem(1, geo.Pt(0, 0))) {
+		t.Error("delete on empty tree should fail")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("depth = %d", tr.Depth())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var tr Tree
+	tr.Insert(PointItem(1, geo.Pt(0.5, 0.5)))
+	if tr.Len() != 1 {
+		t.Fatal("zero-value tree should accept inserts")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	pts := []geo.Point{
+		geo.Pt(0.1, 0.1), geo.Pt(0.2, 0.8), geo.Pt(0.9, 0.9),
+		geo.Pt(0.5, 0.5), geo.Pt(0.7, 0.3),
+	}
+	for i, p := range pts {
+		tr.Insert(PointItem(i, p))
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	got := idsOf(tr.SearchCollect(geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(0.55, 1)}))
+	want := []int{0, 1, 3}
+	if !equalInts(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	b, ok := tr.Bounds()
+	if !ok || !b.Contains(geo.Pt(0.9, 0.9)) || !b.Contains(geo.Pt(0.1, 0.1)) {
+		t.Errorf("bounds = %v, %v", b, ok)
+	}
+}
+
+func TestInsertAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, capacity := range []int{4, 8, 32} {
+		tr := NewWithCapacity(capacity)
+		pts := randPoints(rng, 1200)
+		for i, p := range pts {
+			tr.Insert(PointItem(i, p))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("cap %d: %v", capacity, err)
+		}
+		for q := 0; q < 40; q++ {
+			c := geo.Pt(rng.Float64(), rng.Float64())
+			r := geo.RectAround(c, rng.Float64()*0.2)
+			got := idsOf(tr.SearchCollect(r))
+			want := bruteRange(pts, r)
+			if !equalInts(got, want) {
+				t.Fatalf("cap %d query %v: got %d ids, want %d", capacity, r, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkLoadAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 5, 31, 32, 33, 500, 5000} {
+		pts := randPoints(rng, n)
+		tr := BulkLoadPoints(pts)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for q := 0; q < 20; q++ {
+			c := geo.Pt(rng.Float64(), rng.Float64())
+			r := geo.RectAround(c, rng.Float64()*0.3)
+			got := idsOf(tr.SearchCollect(r))
+			want := bruteRange(pts, r)
+			if !equalInts(got, want) {
+				t.Fatalf("n=%d: got %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randPoints(rng, 800)
+	tr := NewWithCapacity(8)
+	for i, p := range pts {
+		tr.Insert(PointItem(i, p))
+	}
+	// Delete half, in random order.
+	perm := rng.Perm(len(pts))
+	deleted := map[int]bool{}
+	for _, i := range perm[:400] {
+		if !tr.Delete(PointItem(i, pts[i])) {
+			t.Fatalf("delete %d failed", i)
+		}
+		deleted[i] = true
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted items are gone, survivors remain.
+	for q := 0; q < 30; q++ {
+		c := geo.Pt(rng.Float64(), rng.Float64())
+		r := geo.RectAround(c, rng.Float64()*0.25)
+		got := idsOf(tr.SearchCollect(r))
+		var want []int
+		for i, p := range pts {
+			if !deleted[i] && r.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		if !equalInts(got, want) {
+			t.Fatalf("after delete: got %v, want %v", got, want)
+		}
+	}
+	// Deleting again fails.
+	for _, i := range perm[:10] {
+		if tr.Delete(PointItem(i, pts[i])) {
+			t.Fatalf("double delete %d succeeded", i)
+		}
+	}
+	// Drain completely.
+	for _, i := range perm[400:] {
+		if !tr.Delete(PointItem(i, pts[i])) {
+			t.Fatalf("drain delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after drain", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteWrongRect(t *testing.T) {
+	tr := New()
+	tr.Insert(PointItem(1, geo.Pt(0.5, 0.5)))
+	if tr.Delete(PointItem(1, geo.Pt(0.4, 0.4))) {
+		t.Error("delete with wrong rect should fail")
+	}
+	if tr.Len() != 1 {
+		t.Error("item should survive")
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := NewWithCapacity(6)
+	live := map[int]geo.Point{}
+	nextID := 0
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			p := geo.Pt(rng.Float64(), rng.Float64())
+			tr.Insert(PointItem(nextID, p))
+			live[nextID] = p
+			nextID++
+		} else {
+			for id, p := range live {
+				if !tr.Delete(PointItem(id, p)) {
+					t.Fatalf("step %d: delete live %d failed", step, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: len %d, model %d", step, tr.Len(), len(live))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(tr.SearchCollect(geo.WorldUnit.Expand(1)))
+	var want []int
+	for id := range live {
+		want = append(want, id)
+	}
+	sort.Ints(want)
+	if !equalInts(got, want) {
+		t.Fatalf("final contents differ: %d vs %d ids", len(got), len(want))
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := BulkLoadPoints(randPoints(rand.New(rand.NewSource(9)), 100))
+	calls := 0
+	tr.Search(geo.WorldUnit, func(Item) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Errorf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestCountAndAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := randPoints(rng, 300)
+	tr := BulkLoadPoints(pts)
+	r := geo.Rect{Min: geo.Pt(0.25, 0.25), Max: geo.Pt(0.75, 0.75)}
+	if got, want := tr.Count(r), len(bruteRange(pts, r)); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	seen := 0
+	tr.All(func(Item) bool { seen++; return true })
+	if seen != len(pts) {
+		t.Errorf("All visited %d, want %d", seen, len(pts))
+	}
+	seen = 0
+	tr.All(func(Item) bool { seen++; return seen < 7 })
+	if seen != 7 {
+		t.Errorf("All early stop: %d", seen)
+	}
+}
+
+func TestNearestAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randPoints(rng, 700)
+	tr := BulkLoadPoints(pts)
+	for q := 0; q < 50; q++ {
+		qp := geo.Pt(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(20)
+		got := tr.Nearest(qp, k)
+		if len(got) != k {
+			t.Fatalf("got %d results, want %d", len(got), k)
+		}
+		// Brute-force k nearest distances.
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = p.Dist(qp)
+		}
+		sort.Float64s(dists)
+		for i := 0; i < k; i++ {
+			if diff := got[i].Dist - dists[i]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("rank %d: dist %v, want %v", i, got[i].Dist, dists[i])
+			}
+		}
+		// Ascending order.
+		for i := 1; i < k; i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatalf("results not sorted: %v then %v", got[i-1].Dist, got[i].Dist)
+			}
+		}
+	}
+}
+
+func TestNearestMoreThanSize(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(12)), 5)
+	tr := BulkLoadPoints(pts)
+	got := tr.Nearest(geo.Pt(0.5, 0.5), 50)
+	if len(got) != 5 {
+		t.Errorf("got %d results, want all 5", len(got))
+	}
+	n, ok := tr.NearestOne(geo.Pt(0.5, 0.5))
+	if !ok || n.Dist != got[0].Dist {
+		t.Errorf("NearestOne = %v, %v", n, ok)
+	}
+}
+
+func TestRectItems(t *testing.T) {
+	// Non-degenerate rectangles are supported too (future-proofing for
+	// region-shaped objects).
+	tr := NewWithCapacity(4)
+	rects := []geo.Rect{
+		{Min: geo.Pt(0, 0), Max: geo.Pt(0.3, 0.3)},
+		{Min: geo.Pt(0.2, 0.2), Max: geo.Pt(0.6, 0.6)},
+		{Min: geo.Pt(0.7, 0.7), Max: geo.Pt(1, 1)},
+	}
+	for i, r := range rects {
+		tr.Insert(Item{Rect: r, ID: i})
+	}
+	got := idsOf(tr.SearchCollect(geo.Rect{Min: geo.Pt(0.25, 0.25), Max: geo.Pt(0.28, 0.28)}))
+	if !equalInts(got, []int{0, 1}) {
+		t.Errorf("got %v", got)
+	}
+	if !tr.Delete(Item{Rect: rects[1], ID: 1}) {
+		t.Error("delete rect item failed")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowCapacityClamp(t *testing.T) {
+	tr := NewWithCapacity(1) // clamps to 4
+	rng := rand.New(rand.NewSource(13))
+	pts := randPoints(rng, 100)
+	for i, p := range pts {
+		tr.Insert(PointItem(i, p))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(tr.SearchCollect(geo.WorldUnit))
+	if len(got) != 100 {
+		t.Fatalf("got %d items", len(got))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := NewWithCapacity(4)
+	p := geo.Pt(0.5, 0.5)
+	for i := 0; i < 50; i++ {
+		tr.Insert(PointItem(i, p))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(tr.SearchCollect(geo.RectAround(p, 0.001)))
+	if len(got) != 50 {
+		t.Fatalf("got %d duplicates", len(got))
+	}
+	for i := 0; i < 50; i++ {
+		if !tr.Delete(PointItem(i, p)) {
+			t.Fatalf("delete dup %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree not empty")
+	}
+}
+
+func TestBulkLoadDepthReasonable(t *testing.T) {
+	tr := BulkLoadPoints(randPoints(rand.New(rand.NewSource(14)), 10000))
+	// 10000 points at fan-out 32: ceil(log32(10000/32))+1 ≈ 3.
+	if d := tr.Depth(); d > 4 {
+		t.Errorf("depth = %d, want <= 4 for STR-packed tree", d)
+	}
+}

@@ -1,0 +1,346 @@
+// Package server exposes the selection library over HTTP+JSON: a
+// stateless /select endpoint for one-shot sos queries and a stateful
+// /sessions API for interactive, consistency-aware exploration
+// (the isos problem), matching how a map frontend would consume the
+// library. It uses only net/http and encoding/json.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"geosel/internal/core"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/isos"
+	"geosel/internal/sim"
+)
+
+// maxBodyBytes bounds request bodies; selection requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// Server serves selection queries over one indexed dataset.
+type Server struct {
+	store  *geodata.Store
+	metric sim.Metric
+
+	mu       sync.Mutex
+	sessions map[string]*isos.Session
+	nextID   int
+}
+
+// New returns a server over the given store and similarity metric.
+func New(store *geodata.Store, metric sim.Metric) (*Server, error) {
+	if store == nil {
+		return nil, fmt.Errorf("server: nil store")
+	}
+	if metric == nil {
+		return nil, fmt.Errorf("server: nil metric")
+	}
+	return &Server{
+		store:    store,
+		metric:   metric,
+		sessions: make(map[string]*isos.Session),
+	}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /select", s.handleSelect)
+	mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	mux.HandleFunc("POST /sessions/{id}/start", s.sessionOp(opStart))
+	mux.HandleFunc("POST /sessions/{id}/zoomin", s.sessionOp(opZoomIn))
+	mux.HandleFunc("POST /sessions/{id}/zoomout", s.sessionOp(opZoomOut))
+	mux.HandleFunc("POST /sessions/{id}/pan", s.sessionOp(opPan))
+	mux.HandleFunc("POST /sessions/{id}/prefetch", s.handlePrefetch)
+	mux.HandleFunc("POST /sessions/{id}/back", s.handleBack)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	return mux
+}
+
+// rectJSON is the wire form of a map region.
+type rectJSON struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+func (r rectJSON) rect() geo.Rect {
+	return geo.Rect{Min: geo.Pt(r.MinX, r.MinY), Max: geo.Pt(r.MaxX, r.MaxY)}
+}
+
+// objectJSON is the wire form of a selected object.
+type objectJSON struct {
+	ID     int     `json:"id"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Weight float64 `json:"weight"`
+	Text   string  `json:"text,omitempty"`
+}
+
+// selectionJSON is the wire form of a selection result.
+type selectionJSON struct {
+	Objects       []objectJSON `json:"objects"`
+	Score         float64      `json:"score"`
+	RegionObjects int          `json:"regionObjects"`
+	Prefetched    bool         `json:"prefetched,omitempty"`
+	ResponseMs    float64      `json:"responseMs,omitempty"`
+}
+
+func (s *Server) objectsFor(positions []int) []objectJSON {
+	objs := s.store.Collection().Objects
+	out := make([]objectJSON, 0, len(positions))
+	for _, p := range positions {
+		o := &objs[p]
+		out = append(out, objectJSON{
+			ID: o.ID, X: o.Loc.X, Y: o.Loc.Y, Weight: o.Weight, Text: o.Text,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"objects": s.store.Len(),
+	})
+}
+
+// selectRequest is the /select body.
+type selectRequest struct {
+	Region    rectJSON `json:"region"`
+	K         int      `json:"k"`
+	ThetaFrac float64  `json:"thetaFrac"`
+	Sample    bool     `json:"sample"`
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	region := req.Region.rect()
+	if !region.Valid() || region.Width() <= 0 || region.Height() <= 0 {
+		writeError(w, http.StatusBadRequest, "invalid region")
+		return
+	}
+	if req.K <= 0 {
+		writeError(w, http.StatusBadRequest, "k must be positive")
+		return
+	}
+	regionPos := s.store.Region(region)
+	objs := s.store.Collection().Subset(regionPos)
+	theta := req.ThetaFrac * region.Width()
+	sel := &core.Selector{Objects: objs, K: req.K, Theta: theta, Metric: s.metric}
+	res, err := sel.Run()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	positions := make([]int, len(res.Selected))
+	for i, p := range res.Selected {
+		positions[i] = regionPos[p]
+	}
+	writeJSON(w, http.StatusOK, selectionJSON{
+		Objects:       s.objectsFor(positions),
+		Score:         res.Score,
+		RegionObjects: len(regionPos),
+	})
+}
+
+// createSessionRequest is the /sessions body.
+type createSessionRequest struct {
+	K            int     `json:"k"`
+	ThetaFrac    float64 `json:"thetaFrac"`
+	TilesPerSide int     `json:"tilesPerSide"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sess, err := isos.NewSession(s.store, isos.Config{
+		K:            req.K,
+		ThetaFrac:    req.ThetaFrac,
+		Metric:       s.metric,
+		TilesPerSide: req.TilesPerSide,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.Itoa(s.nextID)
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"sessionId": id})
+}
+
+func (s *Server) session(id string) (*isos.Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+type opKind int
+
+const (
+	opStart opKind = iota
+	opZoomIn
+	opZoomOut
+	opPan
+)
+
+// opRequest is the body for start/zoomin/zoomout (region) and pan
+// (dx/dy).
+type opRequest struct {
+	Region rectJSON `json:"region"`
+	DX     float64  `json:"dx"`
+	DY     float64  `json:"dy"`
+}
+
+func (s *Server) sessionOp(kind opKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, ok := s.session(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown session")
+			return
+		}
+		var req opRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		var sel *isos.Selection
+		var err error
+		// Sessions are single-user but HTTP clients can misbehave;
+		// serialize operations per server (sessions are cheap, the
+		// selection dominates).
+		s.mu.Lock()
+		switch kind {
+		case opStart:
+			sel, err = sess.Start(req.Region.rect())
+		case opZoomIn:
+			sel, err = sess.ZoomIn(req.Region.rect())
+		case opZoomOut:
+			sel, err = sess.ZoomOut(req.Region.rect())
+		default:
+			sel, err = sess.Pan(geo.Pt(req.DX, req.DY))
+		}
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, selectionJSON{
+			Objects:       s.objectsFor(sel.Positions),
+			Score:         sel.Score,
+			RegionObjects: sel.RegionObjects,
+			Prefetched:    sel.Prefetched,
+			ResponseMs:    float64(sel.Elapsed.Microseconds()) / 1000,
+		})
+	}
+}
+
+// prefetchRequest optionally restricts which operations to prefetch.
+type prefetchRequest struct {
+	Ops []string `json:"ops"`
+}
+
+func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	var req prefetchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var ops []geo.Op
+	for _, name := range req.Ops {
+		switch name {
+		case "zoomin":
+			ops = append(ops, geo.OpZoomIn)
+		case "zoomout":
+			ops = append(ops, geo.OpZoomOut)
+		case "pan":
+			ops = append(ops, geo.OpPan)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q", name))
+			return
+		}
+	}
+	s.mu.Lock()
+	err := sess.Prefetch(ops...)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "prefetched"})
+}
+
+func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	s.mu.Lock()
+	sel, err := sess.Back()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, selectionJSON{
+		Objects:       s.objectsFor(sel.Positions),
+		RegionObjects: sel.RegionObjects,
+	})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decode reads a JSON body into dst, writing a 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

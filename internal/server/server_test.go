@@ -1,0 +1,317 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"geosel/internal/dataset"
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	store, err := dataset.GenerateStore(dataset.POISpec(5000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(store, sim.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]json.RawMessage
+	if resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+func field[T any](t *testing.T, m map[string]json.RawMessage, key string) T {
+	t.Helper()
+	var v T
+	raw, ok := m[key]
+	if !ok {
+		t.Fatalf("missing field %q in %v", key, m)
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("field %q: %v", key, err)
+	}
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	store, _ := geodata.NewStore(geodata.NewCollection())
+	if _, err := New(nil, sim.Cosine{}); err == nil {
+		t.Error("nil store should fail")
+	}
+	if _, err := New(store, nil); err == nil {
+		t.Error("nil metric should fail")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Status  string `json:"status"`
+		Objects int    `json:"objects"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Objects != 5000 {
+		t.Errorf("body = %+v", body)
+	}
+}
+
+func TestSelectEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, out := post(t, ts.URL+"/select", map[string]any{
+		"region":    map[string]float64{"minX": 0.3, "minY": 0.3, "maxX": 0.7, "maxY": 0.7},
+		"k":         8,
+		"thetaFrac": 0.003,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	objs := field[[]map[string]any](t, out, "objects")
+	if len(objs) == 0 || len(objs) > 8 {
+		t.Fatalf("%d objects", len(objs))
+	}
+	for _, o := range objs {
+		x, y := o["x"].(float64), o["y"].(float64)
+		if x < 0.3 || x > 0.7 || y < 0.3 || y > 0.7 {
+			t.Fatalf("object outside region: %v", o)
+		}
+	}
+	if sc := field[float64](t, out, "score"); sc <= 0 {
+		t.Errorf("score = %v", sc)
+	}
+	if n := field[int](t, out, "regionObjects"); n <= 0 {
+		t.Errorf("regionObjects = %d", n)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	ts := testServer(t)
+	cases := []map[string]any{
+		{"region": map[string]float64{"minX": 1, "minY": 1, "maxX": 0, "maxY": 0}, "k": 5},
+		{"region": map[string]float64{"minX": 0, "minY": 0, "maxX": 1, "maxY": 1}, "k": 0},
+	}
+	for i, c := range cases {
+		resp, _ := post(t, ts.URL+"/select", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// Unknown fields rejected.
+	resp, err := http.Post(ts.URL+"/select", "application/json",
+		bytes.NewReader([]byte(`{"bogus": 1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", resp.StatusCode)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := testServer(t)
+	// Create.
+	resp, out := post(t, ts.URL+"/sessions", map[string]any{"k": 6, "thetaFrac": 0.003})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d: %v", resp.StatusCode, out)
+	}
+	id := field[string](t, out, "sessionId")
+
+	// Start.
+	region := map[string]float64{"minX": 0.3, "minY": 0.3, "maxX": 0.7, "maxY": 0.7}
+	resp, out = post(t, ts.URL+"/sessions/"+id+"/start", map[string]any{"region": region})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("start status %d: %v", resp.StatusCode, out)
+	}
+	startObjs := field[[]map[string]any](t, out, "objects")
+	if len(startObjs) != 6 {
+		t.Fatalf("start selected %d", len(startObjs))
+	}
+
+	// Prefetch, then zoom in and require the warm path.
+	resp, out = post(t, ts.URL+"/sessions/"+id+"/prefetch", map[string]any{"ops": []string{"zoomin"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prefetch status %d: %v", resp.StatusCode, out)
+	}
+	inner := map[string]float64{"minX": 0.4, "minY": 0.4, "maxX": 0.6, "maxY": 0.6}
+	resp, out = post(t, ts.URL+"/sessions/"+id+"/zoomin", map[string]any{"region": inner})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("zoomin status %d: %v", resp.StatusCode, out)
+	}
+	if !field[bool](t, out, "prefetched") {
+		t.Error("zoom-in should report prefetched=true")
+	}
+
+	// Pan.
+	resp, out = post(t, ts.URL+"/sessions/"+id+"/pan", map[string]any{"dx": 0.05, "dy": 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pan status %d: %v", resp.StatusCode, out)
+	}
+
+	// Zoom out.
+	outer := map[string]float64{"minX": 0.35, "minY": 0.3, "maxX": 0.85, "maxY": 0.8}
+	resp, out = post(t, ts.URL+"/sessions/"+id+"/zoomout", map[string]any{"region": outer})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("zoomout status %d: %v", resp.StatusCode, out)
+	}
+
+	// Delete; second delete 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete status %d", dresp.StatusCode)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	ts := testServer(t)
+	// Unknown session.
+	resp, _ := post(t, ts.URL+"/sessions/999/start", map[string]any{
+		"region": map[string]float64{"minX": 0, "minY": 0, "maxX": 1, "maxY": 1}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d", resp.StatusCode)
+	}
+	// Invalid config.
+	resp, _ = post(t, ts.URL+"/sessions", map[string]any{"k": 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("k=0: status %d", resp.StatusCode)
+	}
+	// Op before start.
+	_, out := post(t, ts.URL+"/sessions", map[string]any{"k": 5, "thetaFrac": 0.003})
+	id := field[string](t, out, "sessionId")
+	resp, _ = post(t, ts.URL+"/sessions/"+id+"/pan", map[string]any{"dx": 0.1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("pan before start: status %d", resp.StatusCode)
+	}
+	// Unknown prefetch op.
+	resp, _ = post(t, ts.URL+"/sessions/"+id+"/prefetch", map[string]any{"ops": []string{"warp"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown prefetch op: status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /select: status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentSelects(t *testing.T) {
+	// The stateless endpoint must be safe under concurrency (the store
+	// is read-only).
+	ts := testServer(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			b, _ := json.Marshal(map[string]any{
+				"region": map[string]float64{
+					"minX": 0.1 * float64(i%3), "minY": 0.2,
+					"maxX": 0.1*float64(i%3) + 0.4, "maxY": 0.6,
+				},
+				"k": 5, "thetaFrac": 0.003,
+			})
+			resp, err := http.Post(ts.URL+"/select", "application/json", bytes.NewReader(b))
+			if err != nil {
+				done <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				done <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBackEndpoint(t *testing.T) {
+	ts := testServer(t)
+	_, out := post(t, ts.URL+"/sessions", map[string]any{"k": 5, "thetaFrac": 0.003})
+	id := field[string](t, out, "sessionId")
+	region := map[string]float64{"minX": 0.3, "minY": 0.3, "maxX": 0.7, "maxY": 0.7}
+	resp, out := post(t, ts.URL+"/sessions/"+id+"/start", map[string]any{"region": region})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("start: %d %v", resp.StatusCode, out)
+	}
+	startObjs := field[[]map[string]any](t, out, "objects")
+
+	// No history yet.
+	resp, _ = post(t, ts.URL+"/sessions/"+id+"/back", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("back with no history: status %d", resp.StatusCode)
+	}
+
+	inner := map[string]float64{"minX": 0.4, "minY": 0.4, "maxX": 0.6, "maxY": 0.6}
+	if resp, out := post(t, ts.URL+"/sessions/"+id+"/zoomin", map[string]any{"region": inner}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("zoomin: %d %v", resp.StatusCode, out)
+	}
+	resp, out = post(t, ts.URL+"/sessions/"+id+"/back", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("back: %d %v", resp.StatusCode, out)
+	}
+	backObjs := field[[]map[string]any](t, out, "objects")
+	if len(backObjs) != len(startObjs) {
+		t.Errorf("back restored %d pins, want %d", len(backObjs), len(startObjs))
+	}
+}

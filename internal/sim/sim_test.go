@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/textsim"
+)
+
+func obj(vocab *textsim.Vocabulary, x, y float64, text string) *geodata.Object {
+	return &geodata.Object{
+		Loc:  geo.Pt(x, y),
+		Vec:  textsim.FromText(vocab, text),
+		Text: text,
+	}
+}
+
+func TestCosineMetric(t *testing.T) {
+	vocab := textsim.NewVocabulary()
+	a := obj(vocab, 0, 0, "coffee shop downtown")
+	b := obj(vocab, 1, 1, "coffee shop downtown")
+	c := obj(vocab, 0, 0, "museum of art")
+	m := Cosine{}
+	if got := m.Sim(a, b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical text: %v", got)
+	}
+	if got := m.Sim(a, c); got != 0 {
+		t.Errorf("disjoint text: %v", got)
+	}
+	if got := m.Sim(a, a); got != 1 {
+		t.Errorf("self: %v", got)
+	}
+	// Textless identity: same object must be 1, different objects 0.
+	e1 := obj(vocab, 0, 0, "")
+	e2 := obj(vocab, 0, 0, "")
+	if got := m.Sim(e1, e1); got != 1 {
+		t.Errorf("textless self: %v", got)
+	}
+	if got := m.Sim(e1, e2); got != 0 {
+		t.Errorf("textless pair: %v", got)
+	}
+}
+
+func TestEuclideanProximity(t *testing.T) {
+	vocab := textsim.NewVocabulary()
+	a := obj(vocab, 0, 0, "")
+	b := obj(vocab, 0.3, 0.4, "") // dist 0.5
+	m := EuclideanProximity{MaxDist: 1}
+	if got := m.Sim(a, b); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("got %v, want 0.5", got)
+	}
+	if got := m.Sim(a, a); got != 1 {
+		t.Errorf("self: %v", got)
+	}
+	far := obj(vocab, 10, 10, "")
+	if got := m.Sim(a, far); got != 0 {
+		t.Errorf("beyond MaxDist should clamp to 0, got %v", got)
+	}
+	bad := EuclideanProximity{MaxDist: 0}
+	if got := bad.Sim(a, b); got != 0 {
+		t.Errorf("non-positive MaxDist: %v", got)
+	}
+}
+
+func TestGaussianProximity(t *testing.T) {
+	vocab := textsim.NewVocabulary()
+	a := obj(vocab, 0, 0, "")
+	b := obj(vocab, 0.5, 0, "")
+	m := GaussianProximity{Sigma: 0.5}
+	if got := m.Sim(a, a); got != 1 {
+		t.Errorf("self: %v", got)
+	}
+	want := math.Exp(-1)
+	if got := m.Sim(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	deg := GaussianProximity{}
+	if got := deg.Sim(a, b); got != 0 {
+		t.Errorf("zero sigma distinct points: %v", got)
+	}
+	if got := deg.Sim(a, obj(vocab, 0, 0, "")); got != 1 {
+		t.Errorf("zero sigma same point: %v", got)
+	}
+}
+
+func TestHybrid(t *testing.T) {
+	vocab := textsim.NewVocabulary()
+	a := obj(vocab, 0, 0, "coffee")
+	b := obj(vocab, 0.5, 0, "coffee")
+	m, err := NewHybrid(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// text sim 1, spatial sim 0.5 -> 0.75
+	if got := m.Sim(a, b); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("got %v, want 0.75", got)
+	}
+	if _, err := NewHybrid(-0.1, 1); err == nil {
+		t.Error("alpha < 0 should fail")
+	}
+	if _, err := NewHybrid(1.1, 1); err == nil {
+		t.Error("alpha > 1 should fail")
+	}
+	if _, err := NewHybrid(0.5, 0); err == nil {
+		t.Error("maxDist 0 should fail")
+	}
+}
+
+func TestMetricAxioms(t *testing.T) {
+	// Symmetry, range, self-similarity across random objects for every
+	// shipped metric.
+	vocab := textsim.NewVocabulary()
+	words := []string{"a", "b", "c", "d", "e"}
+	rng := rand.New(rand.NewSource(31))
+	var objs []*geodata.Object
+	for i := 0; i < 40; i++ {
+		text := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		objs = append(objs, obj(vocab, rng.Float64(), rng.Float64(), text))
+	}
+	hybrid, _ := NewHybrid(0.6, math.Sqrt2)
+	metrics := map[string]Metric{
+		"cosine":    Cosine{},
+		"euclidean": EuclideanProximity{MaxDist: math.Sqrt2},
+		"gaussian":  GaussianProximity{Sigma: 0.3},
+		"hybrid":    hybrid,
+	}
+	for name, m := range metrics {
+		for i := 0; i < 200; i++ {
+			a := objs[rng.Intn(len(objs))]
+			b := objs[rng.Intn(len(objs))]
+			sab, sba := m.Sim(a, b), m.Sim(b, a)
+			if sab != sba {
+				t.Fatalf("%s asymmetric: %v vs %v", name, sab, sba)
+			}
+			if sab < 0 || sab > 1 {
+				t.Fatalf("%s out of range: %v", name, sab)
+			}
+			if self := m.Sim(a, a); math.Abs(self-1) > 1e-9 {
+				t.Fatalf("%s self-similarity = %v", name, self)
+			}
+		}
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	m := Func(func(a, b *geodata.Object) float64 { return 0.42 })
+	if got := m.Sim(nil, nil); got != 0.42 {
+		t.Errorf("Func adapter = %v", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	vocab := textsim.NewVocabulary()
+	a := obj(vocab, 0, 0, "x")
+	b := obj(vocab, 0, 0, "y")
+	if got := Distance(Cosine{}, a, b); got != 1 {
+		t.Errorf("Distance disjoint = %v", got)
+	}
+	if got := Distance(Cosine{}, a, a); got != 0 {
+		t.Errorf("Distance self = %v", got)
+	}
+}
+
+func TestPrecomputedMatchesBase(t *testing.T) {
+	vocab := textsim.NewVocabulary()
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"a", "b", "c", "d"}
+	objs := make([]geodata.Object, 40)
+	for i := range objs {
+		objs[i] = geodata.Object{
+			Loc: geo.Pt(rng.Float64(), rng.Float64()),
+			Vec: textsim.FromText(vocab, words[rng.Intn(len(words))]),
+		}
+	}
+	base, err := NewHybrid(0.5, math.Sqrt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrecomputed(objs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range objs {
+		for j := range objs {
+			got := p.Sim(&objs[i], &objs[j])
+			want := base.Sim(&objs[i], &objs[j])
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, got, want)
+			}
+		}
+	}
+	// Foreign objects fall back to the base metric.
+	foreign := geodata.Object{Loc: geo.Pt(0.5, 0.5), Vec: textsim.FromText(vocab, "a")}
+	got := p.Sim(&foreign, &objs[0])
+	want := base.Sim(&foreign, &objs[0])
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("fallback: %v vs %v", got, want)
+	}
+}
+
+func TestPrecomputedValidation(t *testing.T) {
+	if _, err := NewPrecomputed(nil, nil); err == nil {
+		t.Error("nil base should fail")
+	}
+	p, err := NewPrecomputed(nil, Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &geodata.Object{}
+	if got := p.Sim(a, a); got != 1 {
+		t.Errorf("empty precompute fallback self-sim = %v", got)
+	}
+}
+
+func TestPrecomputedInGreedyPath(t *testing.T) {
+	// The cached metric must leave greedy selections unchanged. (Uses a
+	// metric closure that counts invocations to prove the cache absorbs
+	// the inner loop.)
+	vocab := textsim.NewVocabulary()
+	rng := rand.New(rand.NewSource(100))
+	objs := make([]geodata.Object, 60)
+	for i := range objs {
+		objs[i] = geodata.Object{
+			Loc:    geo.Pt(rng.Float64(), rng.Float64()),
+			Weight: 1,
+			Vec:    textsim.FromText(vocab, "w"+string(rune('a'+rng.Intn(6)))),
+		}
+	}
+	calls := 0
+	counting := Func(func(a, b *geodata.Object) float64 {
+		calls++
+		return Cosine{}.Sim(a, b)
+	})
+	p, err := NewPrecomputed(objs, counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := calls
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 60; j++ {
+			p.Sim(&objs[i], &objs[j])
+		}
+	}
+	if calls != after {
+		t.Errorf("cache miss: %d extra base calls", calls-after)
+	}
+}

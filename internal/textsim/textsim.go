@@ -1,0 +1,162 @@
+// Package textsim provides the textual-similarity substrate: a
+// tokenizer, a vocabulary that interns terms to dense ids, sparse term
+// vectors with precomputed norms, and cosine similarity. The paper
+// measures the similarity of two geo-tagged tweets or POIs by the cosine
+// similarity of their keyword vectors (Section 7.1); this package makes
+// that metric cheap enough to sit inside the greedy algorithm's inner
+// loop.
+package textsim
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases s and splits it into maximal runs of letters and
+// digits. It is deliberately simple: the algorithms only need a stable
+// bag-of-words representation.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Vocabulary interns term strings to dense integer ids. The zero value
+// is ready to use.
+type Vocabulary struct {
+	ids   map[string]int
+	terms []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]int)}
+}
+
+// ID returns the id for term, assigning the next free id on first sight.
+func (v *Vocabulary) ID(term string) int {
+	if v.ids == nil {
+		v.ids = make(map[string]int)
+	}
+	if id, ok := v.ids[term]; ok {
+		return id
+	}
+	id := len(v.terms)
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	return id
+}
+
+// Lookup returns the id for term without interning; ok is false when the
+// term is unknown.
+func (v *Vocabulary) Lookup(term string) (int, bool) {
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the term string for id; ok is false for out-of-range ids.
+func (v *Vocabulary) Term(id int) (string, bool) {
+	if id < 0 || id >= len(v.terms) {
+		return "", false
+	}
+	return v.terms[id], true
+}
+
+// Len reports the number of distinct terms seen.
+func (v *Vocabulary) Len() int { return len(v.terms) }
+
+// Vector is a sparse term-frequency vector: term ids sorted ascending,
+// parallel weights, and the precomputed Euclidean norm. Build one with
+// NewVector or FromText; the zero Vector is the empty vector.
+type Vector struct {
+	IDs     []int32
+	Weights []float32
+	Norm    float64
+}
+
+// NewVector builds a vector from a term-id -> weight map. Zero and
+// negative weights are dropped (cosine over non-negative term frequencies
+// is the intended use, keeping similarities in [0, 1]).
+func NewVector(tf map[int]float64) Vector {
+	ids := make([]int, 0, len(tf))
+	for id, w := range tf {
+		if w > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	v := Vector{
+		IDs:     make([]int32, len(ids)),
+		Weights: make([]float32, len(ids)),
+	}
+	var norm2 float64
+	for i, id := range ids {
+		w := tf[id]
+		v.IDs[i] = int32(id)
+		v.Weights[i] = float32(w)
+		norm2 += w * w
+	}
+	v.Norm = math.Sqrt(norm2)
+	return v
+}
+
+// FromText tokenizes s, interns the tokens into vocab and returns the
+// term-frequency vector.
+func FromText(vocab *Vocabulary, s string) Vector {
+	tf := make(map[int]float64)
+	for _, tok := range Tokenize(s) {
+		tf[vocab.ID(tok)]++
+	}
+	return NewVector(tf)
+}
+
+// FromTerms interns the given pre-tokenized terms and returns the
+// term-frequency vector.
+func FromTerms(vocab *Vocabulary, terms []string) Vector {
+	tf := make(map[int]float64)
+	for _, term := range terms {
+		tf[vocab.ID(term)]++
+	}
+	return NewVector(tf)
+}
+
+// IsZero reports whether the vector has no terms.
+func (a Vector) IsZero() bool { return len(a.IDs) == 0 }
+
+// Dot returns the dot product of a and b via a sorted merge.
+func (a Vector) Dot(b Vector) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		switch {
+		case a.IDs[i] == b.IDs[j]:
+			dot += float64(a.Weights[i]) * float64(b.Weights[j])
+			i++
+			j++
+		case a.IDs[i] < b.IDs[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot
+}
+
+// Cosine returns the cosine similarity of a and b in [0, 1]. The cosine
+// of anything with the zero vector is 0.
+func (a Vector) Cosine(b Vector) float64 {
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0
+	}
+	c := a.Dot(b) / (a.Norm * b.Norm)
+	// Guard against floating-point drift beyond [0, 1].
+	if c > 1 {
+		return 1
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
+}

@@ -1,0 +1,215 @@
+package textsim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"", nil},
+		{"   ", nil},
+		{"café au-lait №5", []string{"café", "au", "lait", "5"}},
+		{"ONE one OnE", []string{"one", "one", "one"}},
+		{"a1b2", []string{"a1b2"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	a := v.ID("alpha")
+	b := v.ID("beta")
+	if a == b {
+		t.Fatal("distinct terms share an id")
+	}
+	if got := v.ID("alpha"); got != a {
+		t.Errorf("re-intern changed id: %d vs %d", got, a)
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d", v.Len())
+	}
+	if id, ok := v.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d, %v", id, ok)
+	}
+	if _, ok := v.Lookup("gamma"); ok {
+		t.Error("Lookup of unknown term should fail")
+	}
+	if s, ok := v.Term(a); !ok || s != "alpha" {
+		t.Errorf("Term(%d) = %q, %v", a, s, ok)
+	}
+	if _, ok := v.Term(99); ok {
+		t.Error("Term out of range should fail")
+	}
+	// Zero value usable.
+	var zero Vocabulary
+	if zero.ID("x") != 0 {
+		t.Error("zero-value vocabulary broken")
+	}
+}
+
+func TestNewVectorDropsNonPositive(t *testing.T) {
+	v := NewVector(map[int]float64{1: 2, 2: 0, 3: -1, 4: 1})
+	if len(v.IDs) != 2 {
+		t.Fatalf("ids = %v", v.IDs)
+	}
+	if v.IDs[0] != 1 || v.IDs[1] != 4 {
+		t.Errorf("ids = %v, want sorted [1 4]", v.IDs)
+	}
+	wantNorm := math.Sqrt(2*2 + 1*1)
+	if math.Abs(v.Norm-wantNorm) > 1e-9 {
+		t.Errorf("norm = %v, want %v", v.Norm, wantNorm)
+	}
+}
+
+func TestCosineKnownValues(t *testing.T) {
+	a := NewVector(map[int]float64{0: 1, 1: 1})
+	b := NewVector(map[int]float64{0: 1, 1: 1})
+	if got := a.Cosine(b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical vectors: cosine = %v", got)
+	}
+	c := NewVector(map[int]float64{2: 1, 3: 1})
+	if got := a.Cosine(c); got != 0 {
+		t.Errorf("disjoint vectors: cosine = %v", got)
+	}
+	d := NewVector(map[int]float64{0: 1})
+	want := 1 / math.Sqrt2
+	if got := a.Cosine(d); math.Abs(got-want) > 1e-6 {
+		t.Errorf("half overlap: cosine = %v, want %v", got, want)
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	var zero Vector
+	a := NewVector(map[int]float64{0: 1})
+	if got := a.Cosine(zero); got != 0 {
+		t.Errorf("cosine with zero = %v", got)
+	}
+	if got := zero.Cosine(zero); got != 0 {
+		t.Errorf("zero-zero cosine = %v", got)
+	}
+	if !zero.IsZero() || a.IsZero() {
+		t.Error("IsZero misreports")
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	randVec := func() Vector {
+		tf := make(map[int]float64)
+		for i, n := 0, 1+rng.Intn(10); i < n; i++ {
+			tf[rng.Intn(30)] = rng.Float64()*3 + 0.01
+		}
+		return NewVector(tf)
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randVec(), randVec()
+		sab, sba := a.Cosine(b), b.Cosine(a)
+		if sab != sba {
+			t.Fatalf("asymmetric: %v vs %v", sab, sba)
+		}
+		if sab < 0 || sab > 1 {
+			t.Fatalf("out of range: %v", sab)
+		}
+		if self := a.Cosine(a); math.Abs(self-1) > 1e-6 {
+			t.Fatalf("self-cosine = %v", self)
+		}
+	}
+}
+
+func TestDotAgainstDense(t *testing.T) {
+	f := func(aw, bw [16]uint8) bool {
+		ta := map[int]float64{}
+		tb := map[int]float64{}
+		var dense float64
+		for i := 0; i < 16; i++ {
+			ta[i] = float64(aw[i])
+			tb[i] = float64(bw[i])
+			dense += float64(aw[i]) * float64(bw[i])
+		}
+		got := NewVector(ta).Dot(NewVector(tb))
+		return math.Abs(got-dense) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromText(t *testing.T) {
+	vocab := NewVocabulary()
+	v := FromText(vocab, "coffee coffee shop")
+	if vocab.Len() != 2 {
+		t.Fatalf("vocab len = %d", vocab.Len())
+	}
+	coffeeID, _ := vocab.Lookup("coffee")
+	// "coffee" should carry weight 2.
+	found := false
+	for i, id := range v.IDs {
+		if int(id) == coffeeID {
+			found = true
+			if v.Weights[i] != 2 {
+				t.Errorf("coffee weight = %v", v.Weights[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("coffee term missing")
+	}
+	w := FromText(vocab, "tea house")
+	if got := v.Cosine(w); got != 0 {
+		t.Errorf("disjoint texts cosine = %v", got)
+	}
+	u := FromText(vocab, "coffee house")
+	if got := v.Cosine(u); got <= 0 || got >= 1 {
+		t.Errorf("partial overlap cosine = %v, want in (0,1)", got)
+	}
+}
+
+func TestFromTerms(t *testing.T) {
+	vocab := NewVocabulary()
+	a := FromTerms(vocab, []string{"x", "y", "x"})
+	b := FromText(vocab, "x y x")
+	if got := a.Cosine(b); math.Abs(got-1) > 1e-9 {
+		t.Errorf("FromTerms and FromText disagree: cosine = %v", got)
+	}
+	empty := FromTerms(vocab, nil)
+	if !empty.IsZero() {
+		t.Error("empty terms should give zero vector")
+	}
+}
+
+func FuzzTokenize(f *testing.F) {
+	f.Add("Hello, World!")
+	f.Add("")
+	f.Add("日本語 text ñ")
+	f.Add("a1b2 c3-d4_e5")
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+		}
+		// Tokenizing must be idempotent under rejoining.
+		vocab := NewVocabulary()
+		v := FromTerms(vocab, toks)
+		if len(toks) == 0 && !v.IsZero() {
+			t.Fatal("no tokens but non-zero vector")
+		}
+	})
+}

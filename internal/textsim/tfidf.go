@@ -1,0 +1,51 @@
+package textsim
+
+import "math"
+
+// DocumentFrequencies counts, for every term id in [0, vocabSize), the
+// number of vectors containing it.
+func DocumentFrequencies(vecs []Vector, vocabSize int) []int {
+	df := make([]int, vocabSize)
+	for _, v := range vecs {
+		for _, id := range v.IDs {
+			if int(id) < vocabSize {
+				df[id]++
+			}
+		}
+	}
+	return df
+}
+
+// IDF converts document frequencies into smoothed inverse document
+// frequencies: idf = ln(1 + n/(1+df)). Terms that appear everywhere get
+// weights near ln(2)·(n/(n+1)) ≈ 0.69; rare terms approach ln(1+n).
+func IDF(df []int, n int) []float64 {
+	idf := make([]float64, len(df))
+	for i, d := range df {
+		idf[i] = math.Log(1 + float64(n)/float64(1+d))
+	}
+	return idf
+}
+
+// Reweight returns a copy of v with each term's weight multiplied by
+// factors[id] (terms whose id is out of range keep their weight). The
+// norm is recomputed. Used to turn raw term-frequency vectors into
+// TF-IDF vectors, which sharpens cosine similarity on corpora where a
+// few terms dominate.
+func (v Vector) Reweight(factors []float64) Vector {
+	out := Vector{
+		IDs:     append([]int32(nil), v.IDs...),
+		Weights: make([]float32, len(v.Weights)),
+	}
+	var norm2 float64
+	for i, id := range v.IDs {
+		w := float64(v.Weights[i])
+		if int(id) < len(factors) {
+			w *= factors[id]
+		}
+		out.Weights[i] = float32(w)
+		norm2 += w * w
+	}
+	out.Norm = math.Sqrt(norm2)
+	return out
+}

@@ -1,0 +1,139 @@
+// Package viz renders selections as ASCII maps and SVG documents — the
+// library's stand-in for the map screenshots of the paper's Figures 1,
+// 2 and 6. The SVG renderer draws all objects as faint dots and the
+// selected ones as highlighted pins, so the panels of Figure 6 (one per
+// selection method) can be regenerated directly.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+)
+
+// ASCIIMap renders the objects inside region on a w×h character grid:
+// '.' for cells holding only unselected objects, '#' for cells holding a
+// selected object, ' ' for empty cells. Selected positions index objs.
+func ASCIIMap(objs []geodata.Object, selected []int, region geo.Rect, w, h int) string {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	cell := func(p geo.Point) (int, int, bool) {
+		if !region.Contains(p) || region.Width() <= 0 || region.Height() <= 0 {
+			return 0, 0, false
+		}
+		cx := int((p.X - region.Min.X) / region.Width() * float64(w))
+		cy := int((p.Y - region.Min.Y) / region.Height() * float64(h))
+		if cx >= w {
+			cx = w - 1
+		}
+		if cy >= h {
+			cy = h - 1
+		}
+		// Flip y: north up.
+		return cx, h - 1 - cy, true
+	}
+	for i := range objs {
+		if cx, cy, ok := cell(objs[i].Loc); ok {
+			grid[cy][cx] = '.'
+		}
+	}
+	for _, s := range selected {
+		if s < 0 || s >= len(objs) {
+			continue
+		}
+		if cx, cy, ok := cell(objs[s].Loc); ok {
+			grid[cy][cx] = '#'
+		}
+	}
+	var b strings.Builder
+	b.Grow((w + 1) * h)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SVGOptions customizes WriteSVG.
+type SVGOptions struct {
+	// Width and Height are the pixel dimensions (default 480×480).
+	Width, Height int
+	// Title is rendered as a caption at the top.
+	Title string
+	// DotRadius and PinRadius are the marker sizes for unselected and
+	// selected objects (defaults 1.5 and 5).
+	DotRadius, PinRadius float64
+}
+
+func (o *SVGOptions) fill() {
+	if o.Width <= 0 {
+		o.Width = 480
+	}
+	if o.Height <= 0 {
+		o.Height = 480
+	}
+	if o.DotRadius <= 0 {
+		o.DotRadius = 1.5
+	}
+	if o.PinRadius <= 0 {
+		o.PinRadius = 5
+	}
+}
+
+// WriteSVG renders the objects inside region to w as a standalone SVG
+// document: unselected objects as small blue dots, selected objects as
+// red pins. Selected positions index objs.
+func WriteSVG(w io.Writer, objs []geodata.Object, selected []int, region geo.Rect, opts SVGOptions) error {
+	opts.fill()
+	if region.Width() <= 0 || region.Height() <= 0 {
+		return fmt.Errorf("viz: degenerate region %v", region)
+	}
+	px := func(p geo.Point) (float64, float64) {
+		x := (p.X - region.Min.X) / region.Width() * float64(opts.Width)
+		y := float64(opts.Height) - (p.Y-region.Min.Y)/region.Height()*float64(opts.Height)
+		return x, y
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fbfbf8"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="8" y="16" font-family="sans-serif" font-size="13" fill="#333">%s</text>`+"\n",
+			escapeXML(opts.Title))
+	}
+	for i := range objs {
+		if !region.Contains(objs[i].Loc) {
+			continue
+		}
+		x, y := px(objs[i].Loc)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#4a7db3" fill-opacity="0.35"/>`+"\n",
+			x, y, opts.DotRadius)
+	}
+	for _, s := range selected {
+		if s < 0 || s >= len(objs) || !region.Contains(objs[s].Loc) {
+			continue
+		}
+		x, y := px(objs[s].Loc)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#d33" stroke="#801" stroke-width="1"/>`+"\n",
+			x, y, opts.PinRadius)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+)
+
+func objects() []geodata.Object {
+	return []geodata.Object{
+		{Loc: geo.Pt(0.1, 0.1)},
+		{Loc: geo.Pt(0.5, 0.5)},
+		{Loc: geo.Pt(0.9, 0.9)},
+		{Loc: geo.Pt(2, 2)}, // outside unit region
+	}
+}
+
+func TestASCIIMap(t *testing.T) {
+	out := ASCIIMap(objects(), []int{1}, geo.WorldUnit, 10, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 10 {
+			t.Fatalf("line width %d", len(l))
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("selected marker missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("unselected marker missing")
+	}
+	// The selected object at (0.5, 0.5) lands mid-grid; the object at
+	// (0.9, 0.9) is north-east, i.e. near the TOP (y flipped).
+	if lines[0][0] != ' ' {
+		t.Error("north-west corner should be empty")
+	}
+	topHalf := strings.Join(lines[:5], "")
+	if !strings.Contains(topHalf, ".") {
+		t.Error("north-east object should render in the top half")
+	}
+}
+
+func TestASCIIMapDegenerate(t *testing.T) {
+	// Zero/negative dimensions clamp to 1×1; no panic.
+	out := ASCIIMap(objects(), []int{0}, geo.WorldUnit, 0, -3)
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 1 {
+		t.Error("clamped grid should be a single line")
+	}
+	// Out-of-range selections are ignored.
+	out = ASCIIMap(objects(), []int{-1, 99}, geo.WorldUnit, 5, 5)
+	if strings.Contains(out, "#") {
+		t.Error("out-of-range selections should not render")
+	}
+	// Degenerate region.
+	out = ASCIIMap(objects(), nil, geo.Rect{}, 5, 5)
+	if strings.Contains(out, ".") {
+		t.Error("degenerate region should render nothing")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, objects(), []int{1, 2}, geo.WorldUnit, SVGOptions{Title: `A<&>"title`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if got := strings.Count(s, `fill="#d33"`); got != 2 {
+		t.Errorf("%d selected pins, want 2", got)
+	}
+	if got := strings.Count(s, `fill="#4a7db3"`); got != 3 {
+		t.Errorf("%d dots, want 3 (outside object skipped)", got)
+	}
+	if strings.Contains(s, "A<&>") {
+		t.Error("title not XML-escaped")
+	}
+	if !strings.Contains(s, "A&lt;&amp;&gt;&quot;title") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteSVGDegenerateRegion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, objects(), nil, geo.Rect{}, SVGOptions{}); err == nil {
+		t.Error("degenerate region should fail")
+	}
+}
+
+func TestSVGOptionsDefaults(t *testing.T) {
+	var o SVGOptions
+	o.fill()
+	if o.Width != 480 || o.Height != 480 || o.DotRadius != 1.5 || o.PinRadius != 5 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
