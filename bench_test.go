@@ -7,7 +7,11 @@ package geosel
 // gives a one-screen performance picture.
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -41,6 +45,12 @@ var (
 
 func env(b *testing.B) *benchEnv {
 	b.Helper()
+	return envShared()
+}
+
+// envShared builds the benchmark environment on first use; it is shared
+// by the benchmarks and by the BENCH_parallel.json emission test.
+func envShared() *benchEnv {
 	benchOnce.Do(func() {
 		spec := dataset.UKSpec(60000, 1)
 		spec.TopicsPerCluster = 200
@@ -395,6 +405,115 @@ func BenchmarkSubstrateCosine(b *testing.B) {
 		acc += m.Sim(a, c)
 	}
 	_ = acc
+}
+
+// parallelBenchInstance is the workload for the parallel-engine
+// benchmarks: the full 60k-object collection as O (every marginal gain
+// costs |O| metric calls) with a strided candidate subset, so one
+// selection does tens of millions of similarity evaluations — enough to
+// expose the evaluation-engine scaling without taking minutes per run.
+func parallelBenchInstance() (objs []geodata.Object, cands []int, k int, theta float64) {
+	e := envShared()
+	objs = e.store.Collection().Objects
+	for c := 0; c < len(objs); c += 120 {
+		cands = append(cands, c)
+	}
+	return objs, cands, 50, e.theta
+}
+
+func runParallelBench(objs []geodata.Object, cands []int, k int, theta float64, workers int) (*core.Result, error) {
+	s := &core.Selector{
+		Objects: objs, K: k, Theta: theta, Metric: sim.Cosine{},
+		Candidates: cands, Parallelism: workers,
+	}
+	return s.Run()
+}
+
+// BenchmarkParallelEngine times the same large selection with the
+// marginal-gain engine at 1, 2, 4 and all-CPU workers. All variants
+// return the identical selection; ns/op isolates the evaluation-engine
+// scaling. (On a single-core runner the variants coincide.)
+func BenchmarkParallelEngine(b *testing.B) {
+	objs, cands, k, theta := parallelBenchInstance()
+	b.ReportMetric(float64(len(objs)), "objects")
+	for _, w := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers-%d", w)
+		if w == 0 {
+			name = fmt.Sprintf("workers-all-%d", runtime.NumCPU())
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runParallelBench(objs, cands, k, theta, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEmitParallelBench measures the serial-versus-parallel selection
+// wall-clock on the BenchmarkParallelEngine workload and writes
+// BENCH_parallel.json at the repo root. Gated behind GEOSEL_EMIT_BENCH=1
+// so ordinary test runs stay fast:
+//
+//	GEOSEL_EMIT_BENCH=1 go test -run TestEmitParallelBench .
+func TestEmitParallelBench(t *testing.T) {
+	if os.Getenv("GEOSEL_EMIT_BENCH") == "" {
+		t.Skip("set GEOSEL_EMIT_BENCH=1 to measure and write BENCH_parallel.json")
+	}
+	objs, cands, k, theta := parallelBenchInstance()
+	type run struct {
+		Workers         int     `json:"workers"`
+		Ns              int64   `json:"ns"`
+		SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	}
+	report := struct {
+		Cores      int    `json:"cores"`
+		Objects    int    `json:"objects"`
+		Candidates int    `json:"candidates"`
+		K          int    `json:"k"`
+		Runs       []run  `json:"runs"`
+		Note       string `json:"note"`
+	}{
+		Cores:      runtime.NumCPU(),
+		Objects:    len(objs),
+		Candidates: len(cands),
+		K:          k,
+		Note: "best of 2 per worker count; workers=0 means all CPUs; " +
+			"all worker counts return the identical selection",
+	}
+	measure := func(workers int) int64 {
+		best := int64(1) << 62
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			if _, err := runParallelBench(objs, cands, k, theta, workers); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start).Nanoseconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(1)
+	for _, w := range []int{1, 2, 4, 0} {
+		ns := serial
+		if w != 1 {
+			ns = measure(w)
+		}
+		report.Runs = append(report.Runs, run{
+			Workers: w, Ns: ns,
+			SpeedupVsSerial: float64(serial) / float64(ns),
+		})
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_parallel.json: %s", buf)
 }
 
 // BenchmarkAblationSpatialIndex compares the R-tree the paper uses

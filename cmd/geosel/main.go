@@ -36,15 +36,16 @@ func main() {
 		thetaFrac = flag.Float64("theta", 0.003, "visibility threshold as a fraction of the region side")
 		sample    = flag.Bool("sample", false, "use SaSS sampling (for dense regions)")
 		showMap   = flag.Bool("map", false, "print an ASCII map of the selection")
+		par       = flag.Int("parallelism", 0, "marginal-gain evaluation workers (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(*data, *preset, *n, *seed, *cx, *cy, *side, *k, *thetaFrac, *sample, *showMap); err != nil {
+	if err := run(*data, *preset, *n, *seed, *cx, *cy, *side, *k, *thetaFrac, *sample, *showMap, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "geosel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, thetaFrac float64, sample, showMap bool) error {
+func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, thetaFrac float64, sample, showMap bool, parallelism int) error {
 	col, err := loadOrGenerate(data, preset, n, seed)
 	if err != nil {
 		return err
@@ -65,6 +66,7 @@ func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, th
 		res, err := sampling.Run(objs, sampling.Config{
 			K: k, Theta: theta, Metric: metric,
 			Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(seed)),
+			Parallelism: parallelism,
 		})
 		if err != nil {
 			return err
@@ -73,7 +75,7 @@ func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, th
 		score = core.Score(objs, selected, metric, core.AggMax)
 		fmt.Printf("sampled %d of %d region objects\n", res.SampleSize, len(objs))
 	} else {
-		sel := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: metric}
+		sel := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: metric, Parallelism: parallelism}
 		res, err := sel.Run()
 		if err != nil {
 			return err

@@ -129,6 +129,13 @@ type Options struct {
 	// marginal gain falls below it: fewer pins on regions where extra
 	// pins stop adding representativeness.
 	MinGain float64
+	// Parallelism is the number of worker goroutines evaluating
+	// marginal gains inside the greedy core: 0 (the default) uses
+	// runtime.NumCPU(), 1 runs fully serial. Every setting returns the
+	// identical selection and score; the knob trades wall-clock time
+	// only. With Parallelism != 1 the Metric must be safe for
+	// concurrent use — all metrics constructed by this package are.
+	Parallelism int
 }
 
 // Result is the outcome of a one-shot selection.
@@ -194,6 +201,7 @@ func Select(store *Store, region Rect, opts Options) (*Result, error) {
 		sres, err := sampling.Run(objs, sampling.Config{
 			K: opts.K, Theta: theta, Metric: opts.Metric,
 			Eps: eps, Delta: delta, Rng: rng,
+			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -206,7 +214,8 @@ func Select(store *Store, region Rect, opts Options) (*Result, error) {
 		return out, nil
 	}
 
-	sel := &core.Selector{Objects: objs, K: opts.K, Theta: theta, Metric: opts.Metric, MinGain: opts.MinGain}
+	sel := &core.Selector{Objects: objs, K: opts.K, Theta: theta, Metric: opts.Metric,
+		MinGain: opts.MinGain, Parallelism: opts.Parallelism}
 	res, err := sel.Run()
 	if err != nil {
 		return nil, err

@@ -7,12 +7,14 @@ import (
 	"geosel/internal/geodata"
 	"geosel/internal/grid"
 	"geosel/internal/lazyheap"
+	"geosel/internal/parallel"
 	"geosel/internal/sim"
 )
 
 // Selector configures one run of the greedy selection algorithm. The
 // zero value is not runnable; populate at least Objects, K, Theta and
-// Metric. A Selector is single-use: build a new one per query.
+// Metric. A Selector is single-use: build a new one per query (a second
+// Run returns an error).
 type Selector struct {
 	// Objects is the set O of geospatial objects in the region of
 	// interest. Scores are normalized by len(Objects).
@@ -55,6 +57,16 @@ type Selector struct {
 	// drops below MinGain it never recovers.
 	MinGain float64
 
+	// Parallelism is the number of worker goroutines evaluating
+	// marginal gains: 0 (or negative) selects runtime.NumCPU(), 1 runs
+	// fully serial. Every setting returns identical Selected, Score and
+	// Gains — all floating-point reductions combine fixed-size chunk
+	// partials in a fixed order — so the knob trades wall-clock time
+	// only. With Parallelism != 1 the Metric must be safe for
+	// concurrent use; all metrics in internal/sim are. Instances
+	// smaller than a few hundred objects run serially regardless.
+	Parallelism int
+
 	// DisableLazy switches off the lazy-forward strategy and recomputes
 	// every candidate's marginal gain in every iteration (the "naive
 	// idea" the paper rejects). For ablation benchmarks.
@@ -62,6 +74,10 @@ type Selector struct {
 	// DisableGrid switches off the grid index for visibility-conflict
 	// removal and uses a linear scan instead. For ablation benchmarks.
 	DisableGrid bool
+
+	// ran flips on the first successful entry into Run, enforcing the
+	// single-use contract.
+	ran bool
 }
 
 // Result is the outcome of a selection run.
@@ -75,7 +91,10 @@ type Result struct {
 	Score float64
 	// Evals counts full marginal-gain computations (each costing one
 	// metric call per object in O) — the paper's n_c. Lazy forward
-	// keeps Evals far below |G|·K.
+	// keeps Evals far below |G|·K. With Parallelism > 1 the batched
+	// re-evaluation of stale heap tops may refresh a few extra
+	// candidates per round, so Evals can exceed the serial count even
+	// though the selection is identical.
 	Evals int
 	// Rounds is the number of greedy iterations performed.
 	Rounds int
@@ -88,13 +107,27 @@ type Result struct {
 
 // Run executes the selection. It returns an error for invalid
 // configurations (bad K/Theta, nil metric, out-of-range indices,
-// conflicting forced objects, mis-sized InitialGains).
+// conflicting forced objects, mis-sized InitialGains) and when called a
+// second time on the same Selector.
 func (s *Selector) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("core: Selector is single-use: Run already called (build a new Selector per query)")
+	}
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	s.ran = true
 	n := len(s.Objects)
 	res := &Result{}
+
+	// One pool per run, reused by every absorb/marginal pass across all
+	// greedy iterations; tiny instances skip the pool entirely.
+	var pool *parallel.Pool
+	if n >= serialCutoff && s.Parallelism != 1 {
+		pool = parallel.New(s.Parallelism)
+		defer pool.Close()
+	}
+	e := newEvaluator(s.Objects, s.Metric, s.Agg, pool)
 
 	// best[i] = current Sim(o_i, S): the aggregation state per object.
 	// For AggSum/AggAvg it accumulates the sum of similarities.
@@ -104,7 +137,7 @@ func (s *Selector) Run() (*Result, error) {
 	// Seed with the forced set D.
 	for _, f := range s.Forced {
 		selected = append(selected, f)
-		s.absorb(best, f)
+		e.absorb(best, f)
 	}
 
 	candidates := s.Candidates
@@ -147,12 +180,12 @@ func (s *Selector) Run() (*Result, error) {
 	}
 
 	if s.DisableLazy {
-		if err := s.runNaive(res, best, selected, active); err != nil {
+		if err := s.runNaive(e, res, best, selected, active); err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
-	if err := s.runLazy(res, best, selected, active, activeBound); err != nil {
+	if err := s.runLazy(e, res, best, selected, active, activeBound); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -197,75 +230,36 @@ func (s *Selector) validate() error {
 	return nil
 }
 
-// absorb updates the per-object aggregation state after adding object
-// sel to the selection.
-func (s *Selector) absorb(best []float64, sel int) {
-	o := &s.Objects[sel]
-	switch s.Agg {
-	case AggSum, AggAvg:
-		for i := range s.Objects {
-			best[i] += s.Metric.Sim(&s.Objects[i], o)
-		}
-	default:
-		for i := range s.Objects {
-			if v := s.Metric.Sim(&s.Objects[i], o); v > best[i] {
-				best[i] = v
-			}
-		}
-	}
-}
-
-// marginal returns the unnormalized marginal gain of adding candidate c:
-// Σ_i ω_i · (Sim(o_i, S ∪ {c}) − Sim(o_i, S)) under the configured
-// aggregation. For AggMax this is Σ ω·max(0, Sim(o_i, o_c) − best[i]).
-func (s *Selector) marginal(best []float64, c int) float64 {
-	o := &s.Objects[c]
-	var gain float64
-	switch s.Agg {
-	case AggSum, AggAvg:
-		for i := range s.Objects {
-			gain += s.Objects[i].Weight * s.Metric.Sim(&s.Objects[i], o)
-		}
-	default:
-		for i := range s.Objects {
-			if v := s.Metric.Sim(&s.Objects[i], o); v > best[i] {
-				gain += s.Objects[i].Weight * (v - best[i])
-			}
-		}
-	}
-	return gain
-}
-
 // finish computes the final normalized score from the aggregation state.
-func (s *Selector) finish(res *Result, best []float64, selected []int) {
+func (s *Selector) finish(e *evaluator, res *Result, best []float64, selected []int) {
 	res.Selected = selected
-	if len(s.Objects) == 0 {
-		return
-	}
-	var total float64
-	div := 1.0
-	if s.Agg == AggAvg && len(selected) > 0 {
-		div = float64(len(selected))
-	}
-	for i := range s.Objects {
-		total += s.Objects[i].Weight * best[i] / div
-	}
-	res.Score = total / float64(len(s.Objects))
+	res.Score = e.score(best, len(selected))
 }
 
 // runLazy is Algorithm 1: heap of ⟨o, Δ(o), Iter⟩ tuples, re-evaluating
-// only stale tops, with grid-accelerated conflict removal.
-func (s *Selector) runLazy(res *Result, best []float64, selected, active []int, bounds []float64) error {
+// only stale tops, with grid-accelerated conflict removal. Stale tops
+// are refreshed in batches of up to one per pool worker, which
+// parallelizes the re-evaluation while provably preserving the serial
+// pick order: refreshed gains are exact, stale gains are upper bounds
+// (submodularity), so the first fresh tuple to surface is the true
+// argmax under the heap's deterministic (gain, id) ordering no matter
+// how many extra tuples were refreshed along the way.
+func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, active []int, bounds []float64) error {
 	h := lazyheap.New(len(active))
-	for i, c := range active {
-		if bounds != nil {
+	if bounds != nil {
+		for i, c := range active {
 			// Pre-fetched upper bound: mark stale (Iter -1) so it is
 			// re-evaluated before being trusted.
 			h.Push(lazyheap.Tuple{ID: c, Gain: bounds[i], Iter: -1})
-			continue
 		}
-		h.Push(lazyheap.Tuple{ID: c, Gain: s.marginal(best, c), Iter: 0})
-		res.Evals++
+	} else if len(active) > 0 {
+		// Exact O(|O|·|G|) heap initialization — the paper's main
+		// bottleneck — evaluated with one candidate per worker task.
+		gains := e.marginalBatch(best, active)
+		res.Evals += len(active)
+		for i, c := range active {
+			h.Push(lazyheap.Tuple{ID: c, Gain: gains[i], Iter: 0})
+		}
 	}
 
 	cg, err := s.conflictGrid(active)
@@ -273,14 +267,36 @@ func (s *Selector) runLazy(res *Result, best []float64, selected, active []int, 
 		return err
 	}
 
+	maxBatch := e.pool.Workers()
+	batch := make([]lazyheap.Tuple, 0, maxBatch)
+	ids := make([]int, 0, maxBatch)
+
 	iter := 0
 	for len(selected) < s.K && h.Len() > 0 {
 		t, _ := h.Pop()
 		if t.Iter != iter {
-			t.Gain = s.marginal(best, t.ID)
-			t.Iter = iter
-			res.Evals++
-			h.Push(t)
+			// Batched lazy re-evaluation: refresh up to maxBatch stale
+			// tuples from the top of the heap concurrently. Collection
+			// stops at the first fresh tuple — everything below it is
+			// bounded above by its gain and cannot win this round.
+			batch = append(batch[:0], t)
+			for len(batch) < maxBatch {
+				u, ok := h.Peek()
+				if !ok || u.Iter == iter {
+					break
+				}
+				h.Pop()
+				batch = append(batch, u)
+			}
+			ids = ids[:0]
+			for _, u := range batch {
+				ids = append(ids, u.ID)
+			}
+			gains := e.marginalBatch(best, ids)
+			res.Evals += len(batch)
+			for k := range batch {
+				h.Push(lazyheap.Tuple{ID: batch[k].ID, Gain: gains[k], Iter: iter})
+			}
 			continue
 		}
 		if s.MinGain > 0 && t.Gain < s.MinGain {
@@ -289,29 +305,29 @@ func (s *Selector) runLazy(res *Result, best []float64, selected, active []int, 
 		// t is up to date and maximal: select it.
 		selected = append(selected, t.ID)
 		res.Gains = append(res.Gains, t.Gain)
-		s.absorb(best, t.ID)
+		e.absorb(best, t.ID)
 		s.removeConflicts(h, cg, active, t.ID)
 		iter++
 		res.Rounds++
 	}
-	s.finish(res, best, selected)
+	s.finish(e, res, best, selected)
 	return nil
 }
 
 // runNaive recomputes every remaining candidate's marginal gain each
-// iteration — the strawman the lazy-forward strategy improves on.
-func (s *Selector) runNaive(res *Result, best []float64, selected, active []int) error {
-	alive := make(map[int]bool, len(active))
-	for _, c := range active {
-		alive[c] = true
-	}
+// iteration — the strawman the lazy-forward strategy improves on. The
+// per-iteration sweep is batched across the pool; the winner is the
+// smallest-id candidate among the maximal gains, matching the lazy
+// path's tie-breaking.
+func (s *Selector) runNaive(e *evaluator, res *Result, best []float64, selected, active []int) error {
+	alive := append([]int(nil), active...)
 	for len(selected) < s.K && len(alive) > 0 {
+		gains := e.marginalBatch(best, alive)
+		res.Evals += len(alive)
 		bestC, bestGain := -1, -1.0
-		for c := range alive {
-			g := s.marginal(best, c)
-			res.Evals++
-			if g > bestGain || (g == bestGain && c < bestC) {
-				bestC, bestGain = c, g
+		for k, c := range alive {
+			if gains[k] > bestGain || (gains[k] == bestGain && c < bestC) {
+				bestC, bestGain = c, gains[k]
 			}
 		}
 		if s.MinGain > 0 && bestGain < s.MinGain {
@@ -319,16 +335,18 @@ func (s *Selector) runNaive(res *Result, best []float64, selected, active []int)
 		}
 		selected = append(selected, bestC)
 		res.Gains = append(res.Gains, bestGain)
-		s.absorb(best, bestC)
-		delete(alive, bestC)
-		for c := range alive {
-			if s.Objects[c].Loc.Dist(s.Objects[bestC].Loc) < s.Theta {
-				delete(alive, c)
+		e.absorb(best, bestC)
+		keep := alive[:0]
+		for _, c := range alive {
+			if c == bestC || s.Objects[c].Loc.Dist(s.Objects[bestC].Loc) < s.Theta {
+				continue
 			}
+			keep = append(keep, c)
 		}
+		alive = keep
 		res.Rounds++
 	}
-	s.finish(res, best, selected)
+	s.finish(e, res, best, selected)
 	return nil
 }
 
@@ -351,35 +369,43 @@ func (s *Selector) conflictGrid(active []int) (*grid.Grid, error) {
 
 // removeConflicts drops from the heap every candidate within Theta of
 // the just-selected object (Algorithm 1 lines 11–12), including the
-// object itself.
+// object itself. Each id is removed from the heap and the grid exactly
+// once: on the grid path the picked object sits at distance 0 < Theta
+// and is collected with its conflicts, so no separate removal runs.
 func (s *Selector) removeConflicts(h *lazyheap.Heap, cg *grid.Grid, active []int, picked int) {
 	loc := s.Objects[picked].Loc
 	if cg == nil {
-		if s.Theta <= 0 {
-			h.Remove(picked)
-			return
-		}
-		for _, c := range active {
-			if h.Contains(c) && s.Objects[c].Loc.Dist(loc) < s.Theta {
-				h.Remove(c)
+		// Gridless: with Theta <= 0 the visibility constraint is
+		// vacuous and only the pick itself leaves the pool; otherwise
+		// (grids disabled) scan the candidates linearly.
+		if s.Theta > 0 {
+			for _, c := range active {
+				if c != picked && h.Contains(c) && s.Objects[c].Loc.Dist(loc) < s.Theta {
+					h.Remove(c)
+				}
 			}
 		}
 		h.Remove(picked)
 		return
 	}
 	var doomed []int
+	sawPicked := false
 	cg.Within(loc, s.Theta, func(id int, p geo.Point) bool {
 		if p.Dist(loc) < s.Theta {
 			doomed = append(doomed, id)
+			if id == picked {
+				sawPicked = true
+			}
 		}
 		return true
 	})
+	if !sawPicked {
+		// Defensive: the pick must leave the pool even if a Theta edge
+		// case excluded it from its own conflict neighborhood.
+		doomed = append(doomed, picked)
+	}
 	for _, id := range doomed {
 		cg.Remove(id, s.Objects[id].Loc)
 		h.Remove(id)
 	}
-	// The picked object itself sits at distance 0 < Theta, so it is in
-	// doomed; but guard against Theta edge cases.
-	h.Remove(picked)
-	cg.Remove(picked, loc)
 }

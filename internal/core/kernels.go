@@ -1,0 +1,72 @@
+package core
+
+import (
+	"geosel/internal/geodata"
+	"geosel/internal/parallel"
+	"geosel/internal/sim"
+)
+
+// evalChunk is the number of objects per reduction chunk. Chunk
+// boundaries depend only on the object count — never on the worker
+// count — which is what makes every reduction bitwise deterministic
+// across Parallelism settings: partial sums are always accumulated
+// within [lo, hi) chunks and combined in chunk order. The size is small
+// enough that instances of a few thousand objects still split into
+// enough chunks to keep a many-core pool busy, and large enough that
+// the per-chunk scheduling cost (one atomic fetch-add) is noise next to
+// the hundreds of similarity evaluations inside.
+const evalChunk = 256
+
+// serialCutoff is the object count below which Selector.Run skips the
+// worker pool entirely: a single chunk cannot be sharded, and for tiny
+// instances the pool's channel round-trips would dominate the work.
+// Results are unaffected — the reduction order is fixed either way.
+const serialCutoff = 2 * evalChunk
+
+// evaluator is the parallel marginal-gain engine behind Selector.Run,
+// Score and Representatives: a similarity kernel compiled once per run
+// (sim.CompileKernel), the weight column extracted once, and a worker
+// pool that shards every loop over the objects into fixed chunks.
+type evaluator struct {
+	objs []geodata.Object
+	// w is the extracted weight column ω, indexed like objs.
+	w    []float64
+	kern sim.Kernel
+	agg  Agg
+	pool *parallel.Pool
+	// nChunks = ceil(len(objs)/evalChunk).
+	nChunks int
+	// partials holds one partial sum per chunk; reused by the
+	// single-orchestrator reductions (marginal, score).
+	partials []float64
+}
+
+// newEvaluator compiles the metric into a kernel and binds the pool.
+// A nil pool is valid and runs everything serially.
+func newEvaluator(objs []geodata.Object, m sim.Metric, agg Agg, pool *parallel.Pool) *evaluator {
+	kern, _ := sim.CompileKernel(m, objs)
+	w := make([]float64, len(objs))
+	for i := range objs {
+		w[i] = objs[i].Weight
+	}
+	nChunks := (len(objs) + evalChunk - 1) / evalChunk
+	return &evaluator{
+		objs:     objs,
+		w:        w,
+		kern:     kern,
+		agg:      agg,
+		pool:     pool,
+		nChunks:  nChunks,
+		partials: make([]float64, nChunks),
+	}
+}
+
+// chunkBounds returns the half-open object range of a chunk.
+func chunkBounds(chunk, n int) (lo, hi int) {
+	lo = chunk * evalChunk
+	hi = lo + evalChunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

@@ -1,0 +1,133 @@
+// The parallel evaluation engine: every O(|O|) pass of the greedy
+// algorithm — absorbing a pick into the aggregation state, evaluating a
+// candidate's marginal gain, initializing the heap, computing the final
+// score — runs on the evaluator's worker pool. Two sharding shapes are
+// used: loops over the objects split into fixed evalChunk-sized chunks
+// (absorb, marginal, score), and loops over candidates hand one
+// candidate to each worker (heap initialization, batched lazy
+// re-evaluation). Both produce bitwise-identical results for every pool
+// size because all floating-point reductions accumulate per-chunk
+// partials and combine them in chunk order.
+package core
+
+// absorb updates the per-object aggregation state after adding object
+// sel to the selection. Writes are per-object, so chunks are
+// independent.
+func (e *evaluator) absorb(best []float64, sel int) {
+	kern := e.kern
+	n := len(e.objs)
+	if e.agg == AggSum || e.agg == AggAvg {
+		e.pool.Run(e.nChunks, func(chunk int) {
+			lo, hi := chunkBounds(chunk, n)
+			for i := lo; i < hi; i++ {
+				best[i] += kern(i, sel)
+			}
+		})
+		return
+	}
+	e.pool.Run(e.nChunks, func(chunk int) {
+		lo, hi := chunkBounds(chunk, n)
+		for i := lo; i < hi; i++ {
+			if v := kern(i, sel); v > best[i] {
+				best[i] = v
+			}
+		}
+	})
+}
+
+// marginalChunk accumulates one chunk's contribution to the
+// unnormalized marginal gain of candidate c: Σ ω_i·(Sim(o_i, S∪{c}) −
+// Sim(o_i, S)) restricted to the chunk, which for AggMax is
+// Σ ω·max(0, Sim(o_i, o_c) − best[i]).
+func (e *evaluator) marginalChunk(best []float64, c, chunk int) float64 {
+	lo, hi := chunkBounds(chunk, len(e.objs))
+	kern, w := e.kern, e.w
+	var part float64
+	if e.agg == AggSum || e.agg == AggAvg {
+		for i := lo; i < hi; i++ {
+			part += w[i] * kern(i, c)
+		}
+		return part
+	}
+	for i := lo; i < hi; i++ {
+		if v := kern(i, c); v > best[i] {
+			part += w[i] * (v - best[i])
+		}
+	}
+	return part
+}
+
+// marginal returns the unnormalized marginal gain of candidate c,
+// sharding the objects across the pool. Only the orchestrating
+// goroutine may call it (it reuses e.partials).
+func (e *evaluator) marginal(best []float64, c int) float64 {
+	if e.nChunks == 0 {
+		return 0
+	}
+	partials := e.partials
+	e.pool.Run(e.nChunks, func(chunk int) {
+		partials[chunk] = e.marginalChunk(best, c, chunk)
+	})
+	var gain float64
+	for _, p := range partials {
+		gain += p
+	}
+	return gain
+}
+
+// marginalLocal computes the same value as marginal entirely on the
+// calling goroutine — the identical chunk order makes it bitwise equal
+// — for use inside worker tasks that own one candidate each.
+func (e *evaluator) marginalLocal(best []float64, c int) float64 {
+	var gain float64
+	for chunk := 0; chunk < e.nChunks; chunk++ {
+		gain += e.marginalChunk(best, c, chunk)
+	}
+	return gain
+}
+
+// marginalBatch evaluates many candidates concurrently, one candidate
+// per worker task; out[k] is the gain of cs[k]. It powers the exact
+// heap initialization (the paper's O(|O|·|G|) bottleneck) and the
+// batched lazy re-evaluation of stale heap tops.
+func (e *evaluator) marginalBatch(best []float64, cs []int) []float64 {
+	out := make([]float64, len(cs))
+	if len(cs) == 1 {
+		// A lone candidate still gets the chunk-sharded path.
+		out[0] = e.marginal(best, cs[0])
+		return out
+	}
+	e.pool.Run(len(cs), func(k int) {
+		out[k] = e.marginalLocal(best, cs[k])
+	})
+	return out
+}
+
+// score computes the normalized representative score from the
+// aggregation state (Equation 2). Only the orchestrating goroutine may
+// call it.
+func (e *evaluator) score(best []float64, nSelected int) float64 {
+	n := len(e.objs)
+	if n == 0 {
+		return 0
+	}
+	div := 1.0
+	if e.agg == AggAvg && nSelected > 0 {
+		div = float64(nSelected)
+	}
+	partials := e.partials
+	w := e.w
+	e.pool.Run(e.nChunks, func(chunk int) {
+		lo, hi := chunkBounds(chunk, n)
+		var part float64
+		for i := lo; i < hi; i++ {
+			part += w[i] * best[i] / div
+		}
+		partials[chunk] = part
+	})
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total / float64(n)
+}

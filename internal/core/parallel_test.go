@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+)
+
+// assertMatchesReference replays a Result against the pre-parallel-engine
+// arithmetic: a single goroutine, straight left-to-right sums, metric
+// interface calls, no kernels. Every engine pick must be the straight-sum
+// argmax of the surviving candidates (ties broken by smallest id), and
+// the reported gains and score must match the straight-sum values within
+// 1e-9. Exact ties at ulp scale — e.g. two objects with identical term
+// vectors, whose gains differ only through summation order — may resolve
+// to either object, so an argmax mismatch is accepted only when the two
+// straight-sum gains agree within 1e-12.
+func assertMatchesReference(t *testing.T, objs []geodata.Object, k int, theta float64, m sim.Metric, res *Result) {
+	t.Helper()
+	n := len(objs)
+	best := make([]float64, n)
+	marginal := func(c int) float64 {
+		var gain float64
+		for i := range objs {
+			if v := m.Sim(&objs[i], &objs[c]); v > best[i] {
+				gain += objs[i].Weight * (v - best[i])
+			}
+		}
+		return gain
+	}
+	alive := make([]bool, n)
+	nAlive := n
+	for i := range alive {
+		alive[i] = true
+	}
+	if len(res.Selected) > k {
+		t.Fatalf("selected %d objects for K = %d", len(res.Selected), k)
+	}
+	for pi, pick := range res.Selected {
+		if !alive[pick] {
+			t.Fatalf("pick %d selects removed candidate %d", pi, pick)
+		}
+		bestC, bestGain := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if !alive[c] {
+				continue
+			}
+			if g := marginal(c); g > bestGain {
+				bestC, bestGain = c, g
+			}
+		}
+		pickGain := marginal(pick)
+		if bestC != pick && bestGain-pickGain > 1e-12 {
+			t.Fatalf("pick %d chose %d (gain %v) but the reference argmax is %d (gain %v)",
+				pi, pick, pickGain, bestC, bestGain)
+		}
+		if math.Abs(pickGain-res.Gains[pi]) > 1e-9 {
+			t.Fatalf("pick %d gain = %v, reference straight-sum gain %v", pi, res.Gains[pi], pickGain)
+		}
+		for i := range objs {
+			if v := m.Sim(&objs[i], &objs[pick]); v > best[i] {
+				best[i] = v
+			}
+		}
+		for c := 0; c < n; c++ {
+			if alive[c] && (c == pick || objs[c].Loc.Dist(objs[pick].Loc) < theta) {
+				alive[c] = false
+				nAlive--
+			}
+		}
+	}
+	if len(res.Selected) < k && nAlive > 0 {
+		t.Fatalf("stopped at %d of %d picks with %d candidates still alive", len(res.Selected), k, nAlive)
+	}
+	var total float64
+	for i := range objs {
+		total += objs[i].Weight * best[i]
+	}
+	score := 0.0
+	if n > 0 {
+		score = total / float64(n)
+	}
+	if math.Abs(score-res.Score) > 1e-9 {
+		t.Fatalf("score = %v, reference straight-sum score %v", res.Score, score)
+	}
+}
+
+// TestParallelDeterminismMatrix is the determinism guarantee of the
+// parallel engine: for a grid of seeds × (K, θ, metric) configurations,
+// Parallelism 1 and Parallelism N return bitwise-identical Selected,
+// Score and Gains (fixed chunk-ordered partial-sum reduction), and the
+// selections match the pre-parallel serial implementation.
+func TestParallelDeterminismMatrix(t *testing.T) {
+	hybrid, err := sim.NewHybrid(0.5, math.Sqrt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := []struct {
+		name string
+		m    sim.Metric
+	}{
+		{"cosine", sim.Cosine{}},
+		{"euclidean", sim.EuclideanProximity{MaxDist: math.Sqrt2}},
+		{"gaussian", sim.GaussianProximity{Sigma: 0.25}},
+		{"hybrid", hybrid},
+		// A custom metric exercises the interface-fallback kernel under
+		// the pool (it must be pure/thread-safe, as documented).
+		{"custom", sim.Func(func(a, b *geodata.Object) float64 {
+			d := a.Loc.Dist(b.Loc)
+			return 1 / (1 + 4*d)
+		})},
+	}
+	// n = 700 spans three chunks, so the chunked reductions and the
+	// cross-worker batch paths all engage.
+	for seed := int64(0); seed < 3; seed++ {
+		objs := testObjects(700, 900+seed)
+		for _, mc := range metrics {
+			for _, k := range []int{6, 25} {
+				for _, theta := range []float64{0, 0.04} {
+					serial := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta, Metric: mc.m, Parallelism: 1})
+					for _, par := range []int{3, 8} {
+						got := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta, Metric: mc.m, Parallelism: par})
+						assertIdenticalResults(t, serial, got, mc.name, seed, k, theta, par)
+					}
+					// The O(n²·k) reference replay is expensive; one seed
+					// and one K per (metric, θ) cell keeps the matrix fast
+					// while every cell kind is still certified.
+					if seed == 0 && k == 6 {
+						assertMatchesReference(t, objs, k, theta, mc.m, serial)
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustRun(t *testing.T, s *Selector) *Result {
+	t.Helper()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertIdenticalResults(t *testing.T, want, got *Result, metric string, seed int64, k int, theta float64, par int) {
+	t.Helper()
+	if len(want.Selected) != len(got.Selected) {
+		t.Fatalf("%s seed=%d k=%d θ=%v p=%d: selected %d vs %d objects",
+			metric, seed, k, theta, par, len(want.Selected), len(got.Selected))
+	}
+	for i := range want.Selected {
+		if want.Selected[i] != got.Selected[i] {
+			t.Fatalf("%s seed=%d k=%d θ=%v p=%d: pick %d differs: %d vs %d",
+				metric, seed, k, theta, par, i, want.Selected[i], got.Selected[i])
+		}
+	}
+	if want.Score != got.Score {
+		t.Fatalf("%s seed=%d k=%d θ=%v p=%d: score not bitwise equal: %v vs %v",
+			metric, seed, k, theta, par, want.Score, got.Score)
+	}
+	for i := range want.Gains {
+		if want.Gains[i] != got.Gains[i] {
+			t.Fatalf("%s seed=%d k=%d θ=%v p=%d: gain %d not bitwise equal: %v vs %v",
+				metric, seed, k, theta, par, i, want.Gains[i], got.Gains[i])
+		}
+	}
+}
+
+// TestParallelDeterminismWithBounds covers the batched lazy
+// re-evaluation under prefetched upper bounds: loose bounds force every
+// candidate through the stale-refresh path, which with Parallelism > 1
+// runs in cross-worker batches; the selection must not change.
+func TestParallelDeterminismWithBounds(t *testing.T) {
+	objs := testObjects(600, 77)
+	m := hybridMetric(t)
+	cands := make([]int, len(objs))
+	for i := range cands {
+		cands[i] = i
+	}
+	var wsum float64
+	for i := range objs {
+		wsum += objs[i].Weight
+	}
+	bounds := make([]float64, len(cands))
+	for i := range bounds {
+		bounds[i] = wsum // trivially valid upper bound (Sim <= 1)
+	}
+	serial := mustRun(t, &Selector{Objects: objs, K: 12, Theta: 0.03, Metric: m,
+		Candidates: cands, InitialGains: bounds, Parallelism: 1})
+	for _, par := range []int{2, 8} {
+		got := mustRun(t, &Selector{Objects: objs, K: 12, Theta: 0.03, Metric: m,
+			Candidates: cands, InitialGains: bounds, Parallelism: par})
+		assertIdenticalResults(t, serial, got, "bounded", 77, 12, 0.03, par)
+	}
+}
+
+// TestParallelNaiveMatchesLazy pins the DisableLazy ablation to the
+// lazy path under parallel execution.
+func TestParallelNaiveMatchesLazy(t *testing.T) {
+	objs := testObjects(600, 31)
+	m := hybridMetric(t)
+	lazy := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.05, Metric: m, Parallelism: 4})
+	naive := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.05, Metric: m, Parallelism: 4, DisableLazy: true})
+	assertIdenticalResults(t, lazy, naive, "naive-vs-lazy", 31, 10, 0.05, 4)
+}
+
+// TestSelectorSingleUse enforces the documented contract: a Selector
+// runs once; a second Run returns an explicit error instead of silently
+// recomputing from stale state.
+func TestSelectorSingleUse(t *testing.T) {
+	objs := testObjects(50, 1)
+	sel := &Selector{Objects: objs, K: 3, Theta: 0.05, Metric: sim.Cosine{}}
+	if _, err := sel.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Run(); err == nil {
+		t.Fatal("second Run on the same Selector should fail")
+	}
+	// A failed validation does not consume the Selector: fixing the
+	// configuration and re-running is allowed.
+	fixable := &Selector{Objects: objs, K: 3, Theta: 0.05}
+	if _, err := fixable.Run(); err == nil {
+		t.Fatal("nil metric should fail validation")
+	}
+	fixable.Metric = sim.Cosine{}
+	if _, err := fixable.Run(); err != nil {
+		t.Fatalf("Run after fixing a validation error: %v", err)
+	}
+}
+
+// TestGreedyThetaZeroGridless covers the θ <= 0 gridless removal path:
+// the visibility constraint is vacuous, no conflict grid is built, and
+// each pick must leave the candidate pool exactly once (no duplicate
+// selections).
+func TestGreedyThetaZeroGridless(t *testing.T) {
+	objs := testObjects(120, 55)
+	for _, par := range []int{1, 4} {
+		sel := &Selector{Objects: objs, K: 15, Theta: 0, Metric: sim.Cosine{}, Parallelism: par}
+		res, err := sel.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Selected) != 15 {
+			t.Fatalf("p=%d: selected %d of 15 with vacuous visibility", par, len(res.Selected))
+		}
+		seen := make(map[int]bool, len(res.Selected))
+		for _, s := range res.Selected {
+			if seen[s] {
+				t.Fatalf("p=%d: object %d selected twice", par, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestScoreRepresentativesParallelPath pushes Score and Representatives
+// over their parallel cutoff and checks them against the serial
+// definitions.
+func TestScoreRepresentativesParallelPath(t *testing.T) {
+	objs := testObjects(1200, 66)
+	m := hybridMetric(t)
+	sel := make([]int, 20)
+	for i := range sel {
+		sel[i] = i * 57 % len(objs)
+	}
+	if got := len(objs) * len(sel); got < scoreParallelCutoff {
+		t.Fatalf("instance too small to engage the parallel path: %d", got)
+	}
+	var want float64
+	for i := range objs {
+		want += objs[i].Weight * SimToSet(objs, i, sel, m, AggMax)
+	}
+	want /= float64(len(objs))
+	if got := Score(objs, sel, m, AggMax); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("parallel Score = %v, serial definition %v", got, want)
+	}
+	rep := Representatives(objs, sel, m)
+	for i := range objs {
+		bestV, bestS := -1.0, -1
+		for _, s := range sel {
+			if v := m.Sim(&objs[i], &objs[s]); v > bestV {
+				bestV, bestS = v, s
+			}
+		}
+		if rep[i] != bestS {
+			t.Fatalf("rep[%d] = %d, want %d", i, rep[i], bestS)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"geosel/internal/geodata"
+	"geosel/internal/parallel"
 	"geosel/internal/sim"
 )
 
@@ -72,17 +73,30 @@ func SimToSet(objs []geodata.Object, o int, sel []int, m sim.Metric, agg Agg) fl
 	}
 }
 
+// scoreParallelCutoff is the number of metric evaluations below which
+// Score and Representatives stay serial: spinning up a pool costs more
+// than the work. Above it they use all CPUs. Either way the value is
+// identical — the reduction order is fixed by the evaluator's chunking.
+const scoreParallelCutoff = 1 << 14
+
 // Score returns the representative score of selection sel over objs
-// (Equation 2): the weighted mean over all objects of Sim(o, S).
+// (Equation 2): the weighted mean over all objects of Sim(o, S). Large
+// instances are evaluated on all CPUs via the parallel engine.
 func Score(objs []geodata.Object, sel []int, m sim.Metric, agg Agg) float64 {
 	if len(objs) == 0 {
 		return 0
 	}
-	var total float64
-	for i := range objs {
-		total += objs[i].Weight * SimToSet(objs, i, sel, m, agg)
+	var pool *parallel.Pool
+	if work := len(objs) * len(sel); work >= scoreParallelCutoff {
+		pool = parallel.New(0)
+		defer pool.Close()
 	}
-	return total / float64(len(objs))
+	e := newEvaluator(objs, m, agg, pool)
+	best := make([]float64, len(objs))
+	for _, s := range sel {
+		e.absorb(best, s)
+	}
+	return e.score(best, len(sel))
 }
 
 // SatisfiesVisibility reports whether every pair of selected objects is
@@ -107,15 +121,26 @@ func SatisfiesVisibility(objs []geodata.Object, sel []int, theta float64) bool {
 // maps to -1.
 func Representatives(objs []geodata.Object, sel []int, m sim.Metric) []int {
 	rep := make([]int, len(objs))
-	for i := range objs {
-		rep[i] = -1
-		best := -1.0
-		for _, s := range sel {
-			if v := m.Sim(&objs[i], &objs[s]); v > best {
-				best, rep[i] = v, s
+	var pool *parallel.Pool
+	if work := len(objs) * len(sel); work >= scoreParallelCutoff {
+		pool = parallel.New(0)
+		defer pool.Close()
+	}
+	kern, _ := sim.CompileKernel(m, objs)
+	n := len(objs)
+	nChunks := (n + evalChunk - 1) / evalChunk
+	pool.Run(nChunks, func(chunk int) {
+		lo, hi := chunkBounds(chunk, n)
+		for i := lo; i < hi; i++ {
+			rep[i] = -1
+			best := -1.0
+			for _, s := range sel {
+				if v := kern(i, s); v > best {
+					best, rep[i] = v, s
+				}
 			}
 		}
-	}
+	})
 	return rep
 }
 

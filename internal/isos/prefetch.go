@@ -52,7 +52,7 @@ func (s *Session) Prefetch(ops ...geo.Op) error {
 		}
 		s.prefetch.env[op] = env
 		if s.cfg.TilesPerSide > 0 {
-			t, err := prefetch.NewTiled(s.store.Collection(), s.store.Region(env), env, s.cfg.TilesPerSide, s.cfg.Metric)
+			t, err := prefetch.NewTiledWorkers(s.store.Collection(), s.store.Region(env), env, s.cfg.TilesPerSide, s.cfg.Metric, s.cfg.Parallelism)
 			if err != nil {
 				return err
 			}
@@ -61,11 +61,11 @@ func (s *Session) Prefetch(ops ...geo.Op) error {
 		}
 		switch op {
 		case geo.OpZoomIn:
-			s.prefetch.plain[op] = prefetch.ZoomInBounds(s.store, s.viewport.Region, s.cfg.Metric)
+			s.prefetch.plain[op] = prefetch.ZoomInBoundsWorkers(s.store, s.viewport.Region, s.cfg.Metric, s.cfg.Parallelism)
 		case geo.OpZoomOut:
-			s.prefetch.plain[op] = prefetch.ZoomOutBounds(s.store, s.viewport, s.cfg.MaxZoomOutScale, s.cfg.Metric)
+			s.prefetch.plain[op] = prefetch.ZoomOutBoundsWorkers(s.store, s.viewport, s.cfg.MaxZoomOutScale, s.cfg.Metric, s.cfg.Parallelism)
 		case geo.OpPan:
-			s.prefetch.plain[op] = prefetch.PanBounds(s.store, s.viewport, s.cfg.Metric)
+			s.prefetch.plain[op] = prefetch.PanBoundsWorkers(s.store, s.viewport, s.cfg.Metric, s.cfg.Parallelism)
 		}
 	}
 	return nil

@@ -33,6 +33,12 @@ type Config struct {
 	// over the envelope (see prefetch.Tiled). 0 keeps the paper's plain
 	// Lemma 5.1–5.3 bounds.
 	TilesPerSide int
+	// Parallelism is the number of worker goroutines used for
+	// marginal-gain evaluation and prefetch bound computation: 0 picks
+	// runtime.NumCPU(), 1 runs serial. Selections are identical for
+	// every setting; with Parallelism != 1 the Metric must be safe for
+	// concurrent use (all built-in metrics are).
+	Parallelism int
 	// Filter optionally restricts the session to objects satisfying the
 	// predicate — the paper's "filtering condition" scenario (e.g. only
 	// objects whose text mentions "restaurant"). The representative
@@ -257,11 +263,12 @@ func (s *Session) selectIn(region geo.Rect, d Derivation, unconstrained bool, bo
 	}
 
 	selector := &core.Selector{
-		Objects: objs,
-		K:       s.cfg.K,
-		Theta:   s.theta(region),
-		Metric:  s.cfg.Metric,
-		Agg:     s.cfg.Agg,
+		Objects:     objs,
+		K:           s.cfg.K,
+		Theta:       s.theta(region),
+		Metric:      s.cfg.Metric,
+		Agg:         s.cfg.Agg,
+		Parallelism: s.cfg.Parallelism,
 	}
 	forcedCount, candCount := 0, len(regionPos)
 	if !unconstrained {

@@ -1,0 +1,125 @@
+// Package parallel provides the shared worker pool behind every
+// compute-heavy loop in the library: the greedy core's marginal-gain
+// evaluation engine (internal/core), the prefetching strategy's
+// pairwise bound computation (internal/prefetch), and the scoring
+// helpers. The pool is created once per logical operation (one
+// Selector.Run, one prefetch pass) and reused across all of the
+// operation's inner loops, so the per-loop cost is a handful of channel
+// operations rather than goroutine spawns.
+//
+// Scheduling is dynamic: Run hands out loop indices from an atomic
+// counter, so uneven per-index work (sparse term vectors of varying
+// length, candidates with different conflict neighborhoods) balances
+// automatically across workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of worker goroutines executing indexed loops. A
+// Pool with one worker runs everything inline on the calling goroutine
+// and owns no goroutines at all, so serial configurations pay nothing.
+// The nil *Pool is valid and behaves like a one-worker pool.
+//
+// A Pool is intended for one orchestrating goroutine: Run must not be
+// called concurrently with itself or with Close.
+type Pool struct {
+	workers int
+	tasks   chan *task
+}
+
+// task is one Run invocation: a loop body, the shared index cursor, and
+// a wait group tracking the helpers working on it.
+type task struct {
+	fn   func(int)
+	n    int64
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// New returns a pool with the given number of workers; workers <= 0
+// selects runtime.NumCPU(). The pool spawns workers-1 goroutines (the
+// caller of Run is the remaining worker); call Close to release them.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan *task)
+		for w := 0; w < workers-1; w++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for t := range p.tasks {
+		t.run()
+		t.wg.Done()
+	}
+}
+
+// run drains the task's index space on the calling goroutine.
+func (t *task) run() {
+	for {
+		i := t.next.Add(1) - 1
+		if i >= t.n {
+			return
+		}
+		t.fn(int(i))
+	}
+}
+
+// Workers reports the pool size; 1 for a nil pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(i) for every i in [0, n), distributing indices over
+// the pool's workers with the calling goroutine participating, and
+// returns once all n calls have completed. fn must be safe for
+// concurrent invocation and must only write to per-i state (or
+// synchronize otherwise). On a nil or single-worker pool the loop runs
+// inline in index order.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	t := &task{fn: fn, n: int64(n)}
+	// Wake at most n-1 helpers; between Runs all workers are parked on
+	// the channel, so the sends cannot block on busy workers.
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	t.wg.Add(helpers)
+	for w := 0; w < helpers; w++ {
+		p.tasks <- t
+	}
+	t.run()
+	t.wg.Wait()
+}
+
+// Close releases the pool's worker goroutines. The pool must not be
+// used afterwards. Close on a nil or single-worker pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	close(p.tasks)
+	p.tasks = nil
+}

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 16, 1000} {
+			seen := make([]int32, n)
+			p.Run(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunReusesPoolAcrossCalls(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var total int64
+	for call := 0; call < 50; call++ {
+		p.Run(100, func(i int) { atomic.AddInt64(&total, int64(i)) })
+	}
+	want := int64(50 * (99 * 100 / 2))
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	order := make([]int, 0, 5)
+	p.Run(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	p.Close() // must not panic
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("default workers = %d", p.Workers())
+	}
+}
+
+func TestSingleWorkerSpawnsNothing(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	if p.tasks != nil {
+		t.Fatal("single-worker pool allocated a task channel")
+	}
+	ran := 0
+	p.Run(10, func(i int) { ran++ })
+	if ran != 10 {
+		t.Fatalf("ran %d of 10", ran)
+	}
+}

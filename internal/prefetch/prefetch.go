@@ -10,14 +10,18 @@
 // All bounds are on the *unnormalized* marginal gain Σ ω(o')·Sim(o, o')
 // used inside core.Selector, so they can be passed directly as
 // Selector.InitialGains.
+//
+// The O(|envelope|²) bound computations run on the shared worker pool
+// of internal/parallel — the same engine that powers the greedy core —
+// one envelope row per worker task. Each function has a ...Workers
+// variant taking an explicit pool size (0 = all CPUs, 1 = serial); the
+// plain forms use all CPUs.
 package prefetch
 
 import (
-	"runtime"
-	"sync"
-
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
+	"geosel/internal/parallel"
 	"geosel/internal/sim"
 )
 
@@ -29,9 +33,17 @@ import (
 // zoom-out regions OA. Cost: O(|envelope|²) metric calls, paid while
 // the user is idle; rows are computed on all CPUs.
 func PairwiseBounds(col *geodata.Collection, envelopePos []int, m sim.Metric) map[int]float64 {
+	return PairwiseBoundsWorkers(col, envelopePos, m, 0)
+}
+
+// PairwiseBoundsWorkers is PairwiseBounds on an explicit number of pool
+// workers (0 = all CPUs, 1 = serial).
+func PairwiseBoundsWorkers(col *geodata.Collection, envelopePos []int, m sim.Metric, workers int) map[int]float64 {
 	sums := make([]float64, len(envelopePos))
 	objs := col.Objects
-	parallelRows(len(envelopePos), func(i int) {
+	pool := parallel.New(workers)
+	defer pool.Close()
+	pool.Run(len(envelopePos), func(i int) {
 		var sum float64
 		op := &objs[envelopePos[i]]
 		for _, q := range envelopePos {
@@ -46,49 +58,30 @@ func PairwiseBounds(col *geodata.Collection, envelopePos []int, m sim.Metric) ma
 	return out
 }
 
-// parallelRows runs fn(i) for i in [0, n) across all CPUs. fn must only
-// write to per-i state.
-func parallelRows(n int, fn func(i int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
 // ZoomInBounds precomputes upper bounds for all objects of the current
 // region (any zoom-in target is contained in it), per Lemma 5.1.
 func ZoomInBounds(store *geodata.Store, region geo.Rect, m sim.Metric) map[int]float64 {
-	return PairwiseBounds(store.Collection(), store.Region(region), m)
+	return ZoomInBoundsWorkers(store, region, m, 0)
+}
+
+// ZoomInBoundsWorkers is ZoomInBounds on an explicit number of pool
+// workers.
+func ZoomInBoundsWorkers(store *geodata.Store, region geo.Rect, m sim.Metric, workers int) map[int]float64 {
+	return PairwiseBoundsWorkers(store.Collection(), store.Region(region), m, workers)
 }
 
 // ZoomOutBounds precomputes upper bounds for all objects of the
 // zoom-out envelope (the union of all possible zoom-out regions up to
 // maxScale× the current side length), per Lemma 5.2.
 func ZoomOutBounds(store *geodata.Store, vp geo.Viewport, maxScale float64, m sim.Metric) map[int]float64 {
+	return ZoomOutBoundsWorkers(store, vp, maxScale, m, 0)
+}
+
+// ZoomOutBoundsWorkers is ZoomOutBounds on an explicit number of pool
+// workers.
+func ZoomOutBoundsWorkers(store *geodata.Store, vp geo.Viewport, maxScale float64, m sim.Metric, workers int) map[int]float64 {
 	env := vp.ZoomOutEnvelope(maxScale)
-	return PairwiseBounds(store.Collection(), store.Region(env), m)
+	return PairwiseBoundsWorkers(store.Collection(), store.Region(env), m, workers)
 }
 
 // PanBounds precomputes upper bounds for all objects of the panning
@@ -97,29 +90,43 @@ func ZoomOutBounds(store *geodata.Store, vp geo.Viewport, maxScale float64, m si
 // centered at o with twice the old region's width — every possible
 // panned region containing o lies inside that intersection.
 func PanBounds(store *geodata.Store, vp geo.Viewport, m sim.Metric) map[int]float64 {
+	return PanBoundsWorkers(store, vp, m, 0)
+}
+
+// PanBoundsWorkers is PanBounds on an explicit number of pool workers.
+// Each worker owns one envelope object: it performs the per-object
+// window query (the store's R-tree search is read-only and safe to
+// share) and accumulates that object's bound.
+func PanBoundsWorkers(store *geodata.Store, vp geo.Viewport, m sim.Metric, workers int) map[int]float64 {
 	env := vp.PanEnvelope()
 	envPos := store.Region(env)
 	col := store.Collection()
 	objs := col.Objects
 	w := vp.Region.Width()
 	h := vp.Region.Height()
-	out := make(map[int]float64, len(envPos))
-	for _, p := range envPos {
-		o := &objs[p]
+	sums := make([]float64, len(envPos))
+	pool := parallel.New(workers)
+	defer pool.Close()
+	pool.Run(len(envPos), func(i int) {
+		o := &objs[envPos[i]]
 		ro := geo.Rect{
 			Min: geo.Point{X: o.Loc.X - w, Y: o.Loc.Y - h},
 			Max: geo.Point{X: o.Loc.X + w, Y: o.Loc.Y + h},
 		}
 		window, ok := env.Intersect(ro)
 		if !ok {
-			out[p] = 0
-			continue
+			sums[i] = 0
+			return
 		}
 		var sum float64
 		for _, q := range store.Region(window) {
 			sum += objs[q].Weight * m.Sim(o, &objs[q])
 		}
-		out[p] = sum
+		sums[i] = sum
+	})
+	out := make(map[int]float64, len(envPos))
+	for i, p := range envPos {
+		out[p] = sums[i]
 	}
 	return out
 }

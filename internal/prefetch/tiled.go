@@ -5,6 +5,7 @@ import (
 
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
+	"geosel/internal/parallel"
 	"geosel/internal/sim"
 )
 
@@ -32,8 +33,15 @@ type Tiled struct {
 }
 
 // NewTiled precomputes tiled bounds for the objects at envelopePos over
-// the envelope rectangle. tilesPerSide must be at least 1.
+// the envelope rectangle, using all CPUs. tilesPerSide must be at
+// least 1.
 func NewTiled(col *geodata.Collection, envelopePos []int, env geo.Rect, tilesPerSide int, m sim.Metric) (*Tiled, error) {
+	return NewTiledWorkers(col, envelopePos, env, tilesPerSide, m, 0)
+}
+
+// NewTiledWorkers is NewTiled on an explicit number of pool workers
+// (0 = all CPUs, 1 = serial).
+func NewTiledWorkers(col *geodata.Collection, envelopePos []int, env geo.Rect, tilesPerSide int, m sim.Metric, workers int) (*Tiled, error) {
 	if tilesPerSide < 1 {
 		return nil, fmt.Errorf("prefetch: tilesPerSide must be >= 1, got %d", tilesPerSide)
 	}
@@ -55,7 +63,9 @@ func NewTiled(col *geodata.Collection, envelopePos []int, env geo.Rect, tilesPer
 	}
 	t.contrib = make([][]float64, len(envelopePos))
 	nt := tilesPerSide * tilesPerSide
-	parallelRows(len(envelopePos), func(i int) {
+	pool := parallel.New(workers)
+	defer pool.Close()
+	pool.Run(len(envelopePos), func(i int) {
 		row := make([]float64, nt)
 		op := &objs[envelopePos[i]]
 		for j, q := range envelopePos {

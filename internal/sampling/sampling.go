@@ -99,6 +99,9 @@ type Config struct {
 	Rng *rand.Rand
 	// Agg is the aggregation for scoring; AggMax is the paper's.
 	Agg core.Agg
+	// Parallelism is forwarded to core.Selector.Parallelism for the
+	// greedy run on the sample (0 = all CPUs, 1 = serial).
+	Parallelism int
 }
 
 // Result reports a SaSS run.
@@ -143,11 +146,12 @@ func Run(objs []geodata.Object, cfg Config) (*Result, error) {
 	}
 
 	sel := &core.Selector{
-		Objects: sample,
-		K:       cfg.K,
-		Theta:   cfg.Theta,
-		Metric:  cfg.Metric,
-		Agg:     cfg.Agg,
+		Objects:     sample,
+		K:           cfg.K,
+		Theta:       cfg.Theta,
+		Metric:      cfg.Metric,
+		Agg:         cfg.Agg,
+		Parallelism: cfg.Parallelism,
 	}
 	res, err := sel.Run()
 	if err != nil {

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/textsim"
+)
+
+// Kernel is a devirtualized similarity function over a fixed object
+// slice: k(i, j) equals Sim(&objs[i], &objs[j]) for the metric and
+// slice it was compiled from. Kernels are what the parallel evaluation
+// engine in internal/core runs in its inner loops — one interface
+// dispatch per Selector.Run instead of one per object pair, with
+// columnar access to exactly the data each metric reads (locations for
+// the proximity metrics, term vectors for Cosine).
+type Kernel func(i, j int) float64
+
+// CompileKernel returns a kernel equivalent to m over objs and reports
+// whether it was devirtualized into a closed form. The built-in metrics
+// — Cosine, EuclideanProximity, GaussianProximity, and Hybrid over
+// compilable parts — compile to closed-form kernels over pre-extracted
+// []geo.Point / []textsim.Vector columns; any other metric falls back
+// to calling m.Sim through the interface (reported as false). Compiled
+// kernels perform bitwise the same floating-point operations as the
+// interface path, so switching between them never changes results.
+//
+// A compiled kernel is safe for concurrent use whenever the source
+// metric is; the built-in metrics are stateless and always are.
+func CompileKernel(m Metric, objs []geodata.Object) (Kernel, bool) {
+	switch mt := m.(type) {
+	case Cosine:
+		vecs := extractVectors(objs)
+		return func(i, j int) float64 {
+			// Index equality is pointer equality on a fixed slice,
+			// preserving the self-similarity special case.
+			if i == j {
+				return 1
+			}
+			return vecs[i].Cosine(vecs[j])
+		}, true
+	case EuclideanProximity:
+		pts := extractPoints(objs)
+		maxDist := mt.MaxDist
+		return func(i, j int) float64 {
+			if maxDist <= 0 {
+				return 0
+			}
+			s := 1 - pts[i].Dist(pts[j])/maxDist
+			if s < 0 {
+				return 0
+			}
+			return s
+		}, true
+	case GaussianProximity:
+		pts := extractPoints(objs)
+		sigma := mt.Sigma
+		return func(i, j int) float64 {
+			if sigma <= 0 {
+				if pts[i] == pts[j] {
+					return 1
+				}
+				return 0
+			}
+			d := pts[i].Dist(pts[j]) / sigma
+			return math.Exp(-d * d)
+		}, true
+	case Hybrid:
+		if mt.Text == nil || mt.Spatial == nil {
+			break
+		}
+		text, tok := CompileKernel(mt.Text, objs)
+		spatial, sok := CompileKernel(mt.Spatial, objs)
+		alpha := mt.Alpha
+		return func(i, j int) float64 {
+			return alpha*text(i, j) + (1-alpha)*spatial(i, j)
+		}, tok && sok
+	}
+	return func(i, j int) float64 { return m.Sim(&objs[i], &objs[j]) }, false
+}
+
+func extractPoints(objs []geodata.Object) []geo.Point {
+	pts := make([]geo.Point, len(objs))
+	for i := range objs {
+		pts[i] = objs[i].Loc
+	}
+	return pts
+}
+
+func extractVectors(objs []geodata.Object) []textsim.Vector {
+	vecs := make([]textsim.Vector, len(objs))
+	for i := range objs {
+		vecs[i] = objs[i].Vec
+	}
+	return vecs
+}

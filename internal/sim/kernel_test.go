@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/textsim"
+)
+
+func kernelTestObjects(n int, seed int64) []geodata.Object {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := textsim.NewVocabulary()
+	words := []string{"cafe", "bar", "park", "gym", "zoo", "pier"}
+	objs := make([]geodata.Object, n)
+	for i := range objs {
+		text := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		objs[i] = geodata.Object{
+			ID:     i,
+			Loc:    geo.Pt(rng.Float64(), rng.Float64()),
+			Weight: rng.Float64(),
+			Vec:    textsim.FromText(vocab, text),
+		}
+	}
+	// One textless object exercises the zero-vector cases.
+	objs[0].Vec = textsim.Vector{}
+	return objs
+}
+
+// TestCompileKernelMatchesInterface asserts the central kernel
+// contract: k(i, j) is bitwise identical to m.Sim(&objs[i], &objs[j])
+// for every built-in metric, including degenerate parameters.
+func TestCompileKernelMatchesInterface(t *testing.T) {
+	objs := kernelTestObjects(40, 7)
+	hybrid, err := NewHybrid(0.4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		m      Metric
+		devirt bool
+	}{
+		{"cosine", Cosine{}, true},
+		{"euclidean", EuclideanProximity{MaxDist: 1.5}, true},
+		{"euclidean-degenerate", EuclideanProximity{}, true},
+		{"gaussian", GaussianProximity{Sigma: 0.2}, true},
+		{"gaussian-degenerate", GaussianProximity{}, true},
+		{"hybrid", hybrid, true},
+		{"hybrid-custom-part", Hybrid{Alpha: 0.5, Text: Func(func(a, b *geodata.Object) float64 { return 0.25 }), Spatial: EuclideanProximity{MaxDist: 1}}, false},
+		{"custom", Func(func(a, b *geodata.Object) float64 { return a.Loc.X * b.Loc.X }), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k, devirt := CompileKernel(c.m, objs)
+			if devirt != c.devirt {
+				t.Fatalf("devirtualized = %v, want %v", devirt, c.devirt)
+			}
+			for i := range objs {
+				for j := range objs {
+					if got, want := k(i, j), c.m.Sim(&objs[i], &objs[j]); got != want {
+						t.Fatalf("k(%d,%d) = %v, Sim = %v", i, j, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCompileKernelHybridNilParts(t *testing.T) {
+	objs := kernelTestObjects(3, 8)
+	// A hand-built Hybrid with nil parts must compile to the fallback
+	// (calling Sim on it would panic either way; compiling must not).
+	if _, devirt := CompileKernel(Hybrid{Alpha: 0.5}, objs); devirt {
+		t.Fatal("nil-part hybrid reported devirtualized")
+	}
+}
