@@ -1,0 +1,42 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GEOLINT := $(CURDIR)/bin/geolint
+
+.PHONY: all build test check race lint fuzz bench clean
+
+all: build lint test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check runs the test suite with the geoselcheck runtime assertions
+# compiled in (internal/invariant); release builds carry none of them.
+check:
+	go test -tags geoselcheck ./...
+
+race:
+	go test -race ./internal/...
+
+# lint runs the project's own analyzers (tools/geolint) through the
+# go vet driver, plus the stock vet checks.
+lint: $(GEOLINT)
+	go vet ./...
+	go vet -vettool=$(GEOLINT) ./...
+
+$(GEOLINT): FORCE
+	go build -o $(GEOLINT) ./tools/geolint
+
+FORCE:
+
+fuzz:
+	go test -run=NONE -fuzz=FuzzDeriveConsistency -fuzztime=10s ./internal/isos
+
+bench:
+	go test -run=NONE -bench=. -benchmem ./internal/core ./internal/prefetch
+
+clean:
+	rm -rf bin

@@ -9,9 +9,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"geosel/internal/dataset"
+	"geosel/internal/geodata"
 )
 
 func main() {
@@ -45,15 +47,23 @@ func run(preset string, n int, seed int64, format, out string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	if out == "" {
+		return write(os.Stdout, col, format)
 	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := write(f, col, format); err != nil {
+		f.Close() //geolint:errok
+		return err
+	}
+	// Close errors are the write's final status: a buffered flush can
+	// still fail here (e.g. full disk) after every Write succeeded.
+	return f.Close()
+}
+
+func write(w io.Writer, col *geodata.Collection, format string) error {
 	switch format {
 	case "csv":
 		return dataset.WriteCSV(w, col)

@@ -40,6 +40,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generation seed")
 		addr   = flag.String("addr", ":8080", "listen address")
 		tfidf  = flag.Bool("tfidf", false, "apply TF-IDF reweighting to the term vectors")
+		par    = flag.Int("parallelism", 0, "selection worker goroutines: 0 = all CPUs, 1 = serial")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal("geoselserver: ", err)
 	}
+	srv.SetParallelism(*par)
 	log.Printf("serving %d objects on %s", store.Len(), *addr)
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -73,7 +75,9 @@ func load(data, preset string, n int, seed int64) (*geodata.Collection, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		// Read-only file: the data's integrity is established by ReadAuto,
+		// not by Close.
+		defer f.Close() //geolint:errok
 		return dataset.ReadAuto(f)
 	}
 	switch preset {

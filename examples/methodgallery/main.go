@@ -65,6 +65,11 @@ func writePanel(path string, objs []geosel.Object, sel []int, region geosel.Rect
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return viz.WriteSVG(f, objs, sel, region, viz.SVGOptions{Title: title})
+	if err := viz.WriteSVG(f, objs, sel, region, viz.SVGOptions{Title: title}); err != nil {
+		f.Close() //geolint:errok
+		return err
+	}
+	// Close errors are the write's final status: the SVG can still be
+	// truncated here (e.g. full disk) after every Write succeeded.
+	return f.Close()
 }

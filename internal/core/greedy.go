@@ -6,6 +6,7 @@ import (
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/grid"
+	"geosel/internal/invariant"
 	"geosel/internal/lazyheap"
 	"geosel/internal/parallel"
 	"geosel/internal/sim"
@@ -234,6 +235,18 @@ func (s *Selector) validate() error {
 func (s *Selector) finish(e *evaluator, res *Result, best []float64, selected []int) {
 	res.Selected = selected
 	res.Score = e.score(best, len(selected))
+	if invariant.Enabled {
+		// The correctness contract of the whole greedy run: gains are
+		// monotone non-increasing (submodularity), the selection is
+		// pairwise theta-separated (Definition 3.1), and no theta-circle
+		// packs more than 7 selected objects (Lemma 4.3).
+		invariant.NonIncreasing(res.Gains, "core: greedy marginal gains")
+		dist := func(i, j int) float64 {
+			return s.Objects[selected[i]].Loc.Dist(s.Objects[selected[j]].Loc)
+		}
+		invariant.PairwiseSeparated(len(selected), dist, s.Theta, "core: final selection visibility")
+		invariant.PackingBound(len(selected), dist, s.Theta, "core: final selection packing")
+	}
 }
 
 // runLazy is Algorithm 1: heap of ⟨o, Δ(o), Iter⟩ tuples, re-evaluating
@@ -294,6 +307,15 @@ func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, 
 			}
 			gains := e.marginalBatch(best, ids)
 			res.Evals += len(batch)
+			if invariant.Enabled {
+				// Lemma 4.1 (submodularity) for stale heap entries, and
+				// Lemmas 5.1–5.3 for prefetched bounds (Iter -1): the
+				// recorded gain must upper-bound the fresh exact gain.
+				for k := range batch {
+					invariant.UpperBound(gains[k], batch[k].Gain,
+						"core: lazy re-evaluation of candidate gain")
+				}
+			}
 			for k := range batch {
 				h.Push(lazyheap.Tuple{ID: batch[k].ID, Gain: gains[k], Iter: iter})
 			}

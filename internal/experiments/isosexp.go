@@ -51,6 +51,8 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 	// (The tiled refinement is available as a library option and is
 	// ablated in bench_test.go; it trades query-time tile sums for
 	// tighter bounds.)
+	// Timed single-threaded, matching the paper's measurement setup.
+	//geolint:serial
 	cfg := isos.Config{K: k, ThetaFrac: thetaFrac, Metric: Metric(), MaxZoomOutScale: 2}
 	if op == geo.OpZoomOut && zoomScale > cfg.MaxZoomOutScale {
 		// Cover exactly the swept zoom-out scale: the prefetch envelope
@@ -91,6 +93,7 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 		objs := store.Collection().Subset(store.Region(target))
 		theta := thetaFrac * target.Width()
 		response = timeIt(func() {
+			//geolint:serial
 			s := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: Metric()}
 			_, err = s.Run()
 		})

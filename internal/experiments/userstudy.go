@@ -88,6 +88,9 @@ func (e *Env) runStudyMethods(id string, objs []geodata.Object, k int, theta flo
 	rng := e.rng(id + "methods")
 	out := make(map[string][]int, 6)
 
+	// Methods run single-threaded; the study compares selections, not
+	// runtimes, and serial runs keep the fixtures deterministic.
+	//geolint:serial
 	g := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: m}
 	res, err := g.Run()
 	if err != nil {
@@ -225,6 +228,7 @@ func (e *Env) UserStudyISOS(id string) (*Table, error) {
 	}
 
 	for _, op := range ops {
+		//geolint:serial
 		sess, err := isos.NewSession(store, isos.Config{
 			K: userStudyK, ThetaFrac: 0, Metric: m,
 		})

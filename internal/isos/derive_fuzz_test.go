@@ -1,0 +1,158 @@
+package isos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geosel/internal/geo"
+)
+
+// fuzzRect builds a rect from an origin and edge lengths, rejecting
+// non-finite or degenerate geometry (nothing to derive over) and
+// magnitudes large enough to overflow the width/height arithmetic.
+func fuzzRect(x, y, w, h float64) (geo.Rect, bool) {
+	for _, v := range []float64{x, y, w, h} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+			return geo.Rect{}, false
+		}
+	}
+	w, h = math.Abs(w), math.Abs(h)
+	if w < 1e-9 || h < 1e-9 {
+		return geo.Rect{}, false
+	}
+	return geo.Rect{Min: geo.Pt(x, y), Max: geo.Pt(x+w, y+h)}, true
+}
+
+// FuzzDeriveConsistency drives the three (D, G) derivations of
+// Definition 3.6 with random geometry and verifies the structural
+// guarantees the constrained greedy relies on: D and G are disjoint
+// subsets of the new region's objects, D is exactly what each operation
+// forces, and — the end-to-end property — forcing all of D and picking
+// ANY subset of G yields a selection that the independent
+// CheckTransition validator accepts. A seed that fails here is a
+// navigation that could drop or resurrect pins on a user's map.
+func FuzzDeriveConsistency(f *testing.F) {
+	f.Add(int64(1), uint8(0), 0.0, 0.0, 10.0, 10.0, 2.0, 2.0, 5.0, 5.0)
+	f.Add(int64(2), uint8(1), 0.0, 0.0, 4.0, 4.0, -1.0, -1.0, 8.0, 8.0)
+	f.Add(int64(3), uint8(2), 0.0, 0.0, 6.0, 6.0, 3.0, 1.0, 6.0, 6.0)
+	f.Add(int64(4), uint8(2), -2.0, -2.0, 3.0, 3.0, -1.5, -2.0, 3.0, 3.0)
+	f.Fuzz(func(t *testing.T, seed int64, opSel uint8,
+		oldX, oldY, oldW, oldH, newX, newY, newW, newH float64) {
+		old, ok := fuzzRect(oldX, oldY, oldW, oldH)
+		if !ok {
+			t.Skip()
+		}
+		nw, ok := fuzzRect(newX, newY, newW, newH)
+		if !ok {
+			t.Skip()
+		}
+		op := []geo.Op{geo.OpZoomIn, geo.OpZoomOut, geo.OpPan}[int(opSel)%3]
+		switch op {
+		case geo.OpZoomIn:
+			if !old.ContainsRect(nw) {
+				t.Skip()
+			}
+		case geo.OpZoomOut:
+			if !nw.ContainsRect(old) {
+				t.Skip()
+			}
+		case geo.OpPan:
+			if _, ok := old.Intersect(nw); !ok {
+				t.Skip()
+			}
+		}
+
+		// Scatter objects over (a slight expansion of) the union of both
+		// regions so some land in each region, some in neither.
+		span := old.Union(nw).Expand(old.Width() * 0.1)
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(
+				span.Min.X+rng.Float64()*span.Width(),
+				span.Min.Y+rng.Float64()*span.Height(),
+			)
+		}
+		locate := func(i int) geo.Point { return pts[i] }
+
+		// The previous selection is a random subset of the old region's
+		// objects, as it would be in a session.
+		var visible, newObjs []int
+		for i := range pts {
+			if old.Contains(pts[i]) && rng.Intn(4) == 0 {
+				visible = append(visible, i)
+			}
+			if nw.Contains(pts[i]) {
+				newObjs = append(newObjs, i)
+			}
+		}
+
+		var d Derivation
+		switch op {
+		case geo.OpZoomIn:
+			d = DeriveZoomIn(visible, newObjs, nw, locate)
+		case geo.OpZoomOut:
+			d = DeriveZoomOut(visible, newObjs, old, locate)
+		case geo.OpPan:
+			d = DerivePan(visible, newObjs, old, locate)
+		}
+
+		// Structural invariants: D ⊔ G ⊆ new-region objects.
+		inNew := toSet(newObjs)
+		dSet := toSet(d.D)
+		for _, o := range d.D {
+			if !inNew[o] {
+				t.Fatalf("%v: D contains %d outside the new region objects", op, o)
+			}
+		}
+		for _, o := range d.G {
+			if !inNew[o] {
+				t.Fatalf("%v: G contains %d outside the new region objects", op, o)
+			}
+			if dSet[o] {
+				t.Fatalf("%v: object %d is in both D and G", op, o)
+			}
+		}
+
+		// Operation-specific shape of D.
+		vis := toSet(visible)
+		switch op {
+		case geo.OpZoomIn:
+			for _, o := range newObjs {
+				if vis[o] && nw.Contains(pts[o]) && !dSet[o] {
+					t.Fatalf("zoom-in: visible object %d in the new region not forced", o)
+				}
+			}
+		case geo.OpZoomOut:
+			if len(d.D) != 0 {
+				t.Fatalf("zoom-out: D must be empty, got %v", d.D)
+			}
+		case geo.OpPan:
+			for _, o := range newObjs {
+				if vis[o] && old.Contains(pts[o]) && !dSet[o] {
+					t.Fatalf("pan: visible object %d in the overlap not forced", o)
+				}
+			}
+		}
+
+		// End-to-end: all of D plus any subset of G must satisfy the
+		// consistency constraints. Try the extremes and a random subset.
+		subsets := [][]int{nil, d.G}
+		var random []int
+		for _, o := range d.G {
+			if rng.Intn(2) == 0 {
+				random = append(random, o)
+			}
+		}
+		subsets = append(subsets, random)
+		for _, g := range subsets {
+			newVisible := append(append([]int(nil), d.D...), g...)
+			if err := CheckTransition(op, old, nw, visible, newVisible, locate); err != nil {
+				t.Fatalf("%v: selection D + %d-of-%d candidates violates consistency: %v",
+					op, len(g), len(d.G), err)
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"geosel/internal/core"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
+	"geosel/internal/invariant"
 	"geosel/internal/sim"
 )
 
@@ -162,6 +163,9 @@ func (s *Session) ZoomIn(inner geo.Rect) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
+	if invariant.Enabled {
+		s.assertTransition(geo.OpZoomIn, prev.viewport.Region, inner, prev.visible)
+	}
 	s.history = append(s.history, prev)
 	s.trimHistory()
 	s.viewport = nv
@@ -186,6 +190,9 @@ func (s *Session) ZoomOut(outer geo.Rect) (*Selection, error) {
 	sel, err := s.selectIn(outer, d, false, bounds)
 	if err != nil {
 		return nil, err
+	}
+	if invariant.Enabled {
+		s.assertTransition(geo.OpZoomOut, prev.viewport.Region, outer, prev.visible)
 	}
 	s.history = append(s.history, prev)
 	s.trimHistory()
@@ -212,11 +219,25 @@ func (s *Session) Pan(delta geo.Point) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
+	if invariant.Enabled {
+		s.assertTransition(geo.OpPan, prev.viewport.Region, nv.Region, prev.visible)
+	}
 	s.history = append(s.history, prev)
 	s.trimHistory()
 	s.viewport = nv
 	s.prefetch = nil
 	return sel, nil
+}
+
+// assertTransition checks, under the geoselcheck tag, that the
+// selection just installed by selectIn honors the Section 3.4 zooming
+// and panning consistency constraints relative to the pre-operation
+// state. The derivation (derive.go) is constructed to guarantee this;
+// the assertion re-verifies it through the independent CheckTransition
+// validator.
+func (s *Session) assertTransition(op geo.Op, oldRegion, newRegion geo.Rect, oldVisible []int) {
+	err := CheckTransition(op, oldRegion, newRegion, oldVisible, s.visible, s.locate)
+	invariant.Assertf(err == nil, "isos: %v", err)
 }
 
 func (s *Session) requireStarted() error {
@@ -245,6 +266,24 @@ func (s *Session) regionObjects(region geo.Rect) []int {
 		}
 	}
 	return out
+}
+
+// assertBoundsDominate checks, under the geoselcheck tag, the heart of
+// Lemmas 5.1–5.3: every prefetched upper bound handed to the greedy as
+// an InitialGain must dominate the exact unnormalized initial gain
+// Σ ω(o)·Sim(c, o) of its candidate over the region's objects — the
+// value exact initialization would have computed. The envelope sums
+// dominate because the region is contained in the prefetched envelope
+// and all terms are non-negative.
+func assertBoundsDominate(objs []geodata.Object, cands []int, gains []float64, m sim.Metric) {
+	for j, i := range cands {
+		c := &objs[i]
+		var exact float64
+		for q := range objs {
+			exact += objs[q].Weight * m.Sim(c, &objs[q])
+		}
+		invariant.UpperBound(exact, gains[j], "isos: prefetched bound vs exact initial gain (Lemmas 5.1-5.3)")
+	}
 }
 
 // selectIn runs the constrained greedy for region. When unconstrained
@@ -302,6 +341,9 @@ func (s *Session) selectIn(region geo.Rect, d Derivation, unconstrained bool, bo
 		selector.Candidates = cands
 		selector.InitialGains = gains
 		forcedCount, candCount = len(forced), len(cands)
+		if invariant.Enabled && bounds != nil {
+			assertBoundsDominate(objs, cands, gains, s.cfg.Metric)
+		}
 	}
 
 	start := time.Now()

@@ -6,7 +6,11 @@
 // selection.
 package lazyheap
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"geosel/internal/invariant"
+)
 
 // Tuple is one heap entry: a candidate object id, an upper bound (or
 // exact value) of its marginal gain Δ, and the greedy iteration at which
@@ -68,6 +72,17 @@ func (h *Heap) Pop() (Tuple, bool) {
 		return Tuple{}, false
 	}
 	t := heap.Pop(hi{h}).(Tuple)
+	if invariant.Enabled {
+		// Deterministic pop-order contract: the popped tuple dominates
+		// the new top under the (gain desc, id asc) ordering that makes
+		// every selection reproducible.
+		if u, ok := h.Peek(); ok {
+			invariant.Assertf(t.Gain > u.Gain || (t.Gain == u.Gain && t.ID < u.ID),
+				"lazyheap: popped (id %d, gain %v) does not dominate the remaining top (id %d, gain %v)",
+				t.ID, t.Gain, u.ID, u.Gain)
+		}
+		invariant.Assertf(!h.Contains(t.ID), "lazyheap: popped id %d still present", t.ID)
+	}
 	return t, true
 }
 

@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"geosel/internal/invariant"
 )
 
 // Pool is a fixed set of worker goroutines executing indexed loops. A
@@ -112,6 +114,12 @@ func (p *Pool) Run(n int, fn func(i int)) {
 	}
 	t.run()
 	t.wg.Wait()
+	if invariant.Enabled {
+		// Every loop index must have been handed out exactly once; a
+		// short count means fn calls were silently skipped.
+		invariant.Assertf(t.next.Load() >= t.n,
+			"parallel: Run dispatched %d of %d indices", t.next.Load(), t.n)
+	}
 }
 
 // Close releases the pool's worker goroutines. The pool must not be

@@ -21,6 +21,7 @@ package prefetch
 import (
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
+	"geosel/internal/invariant"
 	"geosel/internal/parallel"
 	"geosel/internal/sim"
 )
@@ -51,11 +52,27 @@ func PairwiseBoundsWorkers(col *geodata.Collection, envelopePos []int, m sim.Met
 		}
 		sums[i] = sum
 	})
+	if invariant.Enabled {
+		assertEnvelopeBounds(objs, envelopePos, m, sums, "prefetch: pairwise envelope bound")
+	}
 	out := make(map[int]float64, len(envelopePos))
 	for i, p := range envelopePos {
 		out[p] = sums[i]
 	}
 	return out
+}
+
+// assertEnvelopeBounds checks, under the geoselcheck tag, that every
+// envelope bound is a plausible Lemma 5.1–5.3 sum: non-negative (the
+// metric maps into [0, 1] and weights are non-negative) and at least the
+// object's own weighted self-similarity term, which every envelope sum
+// contains because the object belongs to its own envelope.
+func assertEnvelopeBounds(objs []geodata.Object, envelopePos []int, m sim.Metric, sums []float64, what string) {
+	for i, p := range envelopePos {
+		o := &objs[p]
+		invariant.Assertf(sums[i] >= 0, "%s: negative bound %v for position %d", what, sums[i], p)
+		invariant.UpperBound(o.Weight*m.Sim(o, o), sums[i], what+" (self term)")
+	}
 }
 
 // ZoomInBounds precomputes upper bounds for all objects of the current
@@ -124,6 +141,9 @@ func PanBoundsWorkers(store *geodata.Store, vp geo.Viewport, m sim.Metric, worke
 		}
 		sums[i] = sum
 	})
+	if invariant.Enabled {
+		assertEnvelopeBounds(objs, envPos, m, sums, "prefetch: pan envelope bound")
+	}
 	out := make(map[int]float64, len(envPos))
 	for i, p := range envPos {
 		out[p] = sums[i]

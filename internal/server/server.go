@@ -27,6 +27,11 @@ type Server struct {
 	store  *geodata.Store
 	metric sim.Metric
 
+	// parallelism is forwarded to every selector and session the server
+	// creates: 0 picks runtime.NumCPU(), 1 runs serial. Selections are
+	// identical for every setting.
+	parallelism int
+
 	mu       sync.Mutex
 	sessions map[string]*isos.Session
 	nextID   int
@@ -46,6 +51,12 @@ func New(store *geodata.Store, metric sim.Metric) (*Server, error) {
 		sessions: make(map[string]*isos.Session),
 	}, nil
 }
+
+// SetParallelism sets the worker count forwarded to every selection and
+// session the server creates: 0 (the default) picks runtime.NumCPU(),
+// 1 runs serial. Call it before serving requests; it is not
+// synchronized with request handling.
+func (s *Server) SetParallelism(n int) { s.parallelism = n }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -137,7 +148,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	regionPos := s.store.Region(region)
 	objs := s.store.Collection().Subset(regionPos)
 	theta := req.ThetaFrac * region.Width()
-	sel := &core.Selector{Objects: objs, K: req.K, Theta: theta, Metric: s.metric}
+	sel := &core.Selector{Objects: objs, K: req.K, Theta: theta, Metric: s.metric, Parallelism: s.parallelism}
 	res, err := sel.Run()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -171,6 +182,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		ThetaFrac:    req.ThetaFrac,
 		Metric:       s.metric,
 		TilesPerSide: req.TilesPerSide,
+		Parallelism:  s.parallelism,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())

@@ -1,0 +1,160 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// parts of golang.org/x/tools/go/analysis that geolint needs: an
+// Analyzer value describing one check, a Pass carrying one type-checked
+// package, and diagnostics. It exists because this repository builds
+// offline against the standard library only; the shapes mirror the real
+// framework so the analyzers port to x/tools unchanged if the dependency
+// ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives ("//geolint:<name-or-directive>").
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// PkgFilter, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts. Nil means every package.
+	PkgFilter func(pkgPath string) bool
+	// Run performs the check on one package and reports findings through
+	// the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	directives map[string]map[int][]string // filename -> line -> directives
+	report     func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether a "//geolint:<directive>" comment appears on
+// the same line as pos or on the line directly above it, which is the
+// per-site escape hatch for deliberate violations.
+func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
+	if p.directives == nil {
+		p.directives = collectDirectives(p.Fset, p.Files)
+	}
+	position := p.Fset.Position(pos)
+	lines := p.directives[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range lines[line] {
+			if d == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives indexes "//geolint:a,b" comments by file and line.
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "geolint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					out[pos.Filename] = lines
+				}
+				for _, d := range strings.Split(strings.TrimPrefix(text, "geolint:"), ",") {
+					if d = strings.TrimSpace(d); d != "" {
+						lines[pos.Line] = append(lines[pos.Line], d)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run applies each analyzer to each package and returns the combined
+// diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		// All checks are scoped to non-test code: a `go vet`-driven run
+		// hands us the package's test variant with _test.go files
+		// merged in, which the standalone loader never sees.
+		files := make([]*ast.File, 0, len(pkg.Syntax))
+		for _, f := range pkg.Syntax {
+			if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				files = append(files, f)
+			}
+		}
+		for _, a := range analyzers {
+			if a.PkgFilter != nil && !a.PkgFilter(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.PkgPath,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,120 @@
+// Package analysistest runs one analyzer over a self-contained testdata
+// package and checks its diagnostics against "// want" comments, the
+// same convention as golang.org/x/tools/go/analysis/analysistest: a
+// comment `// want "regexp"` on a line means the analyzer must report a
+// diagnostic on that line whose message matches the regexp; every
+// diagnostic must be wanted and every want must be matched.
+//
+// Each testdata package is its own module (a go.mod beside the sources)
+// so the production loader — `go list -json -export -deps` plus export-
+// data type-checking — exercises the exact code path the real runs use.
+// Module paths are chosen to satisfy the analyzer's PkgFilter where one
+// applies.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+// want is one expectation parsed from a comment.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir and checks the analyzer's
+// diagnostics against the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		ws, err := collectWants(pkg.Fset, pkg.Syntax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func matchWant(wants []*want, d analysis.Diagnostic) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// wantRE extracts the quoted patterns of a want comment; both
+// double-quoted and backquoted forms are accepted.
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants parses every want comment in the files.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					var pat string
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

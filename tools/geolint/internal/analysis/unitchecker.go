@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go passes to a
+// `go vet -vettool` binary for each package (one invocation per
+// package, argument ending in ".cfg").
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetConfig reports whether arg names a vet configuration file, i.e.
+// the binary is being driven by `go vet -vettool`.
+func IsVetConfig(arg string) bool { return strings.HasSuffix(arg, ".cfg") }
+
+// RunVetTool implements the vettool side of the `go vet -vettool`
+// protocol for one package: read the config, type-check the package from
+// the export data cmd/go already built, run the analyzers, print
+// diagnostics to stderr and exit 2 if there were any. The (empty) facts
+// output file is written unconditionally — cmd/go requires it to exist.
+func RunVetTool(analyzers []*Analyzer, cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		// geolint carries no inter-package facts; an empty file tells
+		// cmd/go the unit completed.
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typecheck(fset, imp, &listPackage{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+	})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("%v", err)
+	}
+	diags, err := Run(analyzers, []*Package{pkg})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
+		os.Exit(2)
+	}
+}
+
+// PrintVersion answers the -V=full probe cmd/go sends before trusting a
+// vettool. cmd/go parses "<name> version devel <buildID>" and uses the
+// trailing content ID to key its vet-result cache, so the ID is a hash
+// of the geolint binary itself: editing an analyzer invalidates cached
+// vet verdicts.
+func PrintVersion(name string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+// PrintFlags answers the -flags probe: a JSON array describing the
+// tool's analyzer flags. geolint has none.
+func PrintFlags() {
+	fmt.Println("[]")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "geolint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Package errlite is an errcheck-lite: it flags error values that are
+// silently discarded in non-test code, either by calling an
+// error-returning function as a bare statement (including defer and go
+// statements) or by assigning the error component of a result tuple to
+// the blank identifier. Both hide failures — a dropped Close error on a
+// written file loses data corruption signals, a blanked selection error
+// turns an invalid experiment into a zero row.
+//
+// Exclusions, matching common errcheck practice: the fmt Print family
+// (terminal writes, conventionally unchecked) and methods on
+// bytes.Buffer / strings.Builder (documented to never return a non-nil
+// error). A "//geolint:errok" annotation on the call's line or the line
+// above suppresses a deliberate drop.
+package errlite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+// Analyzer is the errcheck-lite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errlite",
+	Doc:  "flags silently discarded errors (bare error-returning calls, errors assigned to _) outside test files",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankedError(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall reports a call statement whose results include an
+// error nobody looks at.
+func checkDiscardedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if !returnsError(pass, call) || excluded(pass, call) {
+		return
+	}
+	if pass.Suppressed(call.Pos(), "errok") {
+		return
+	}
+	pass.Reportf(call.Pos(), "discarded error: result of %s includes an error; handle it, or annotate the call with //geolint:errok", calleeName(pass, call))
+}
+
+// checkBlankedError reports assignments that land an error result in
+// the blank identifier, e.g. `v, _ := mayFail()`.
+func checkBlankedError(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || excluded(pass, call) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	components := resultComponents(tv.Type)
+	if len(components) != len(as.Lhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || !isErrorType(components[i]) {
+			continue
+		}
+		if pass.Suppressed(as.Pos(), "errok") {
+			continue
+		}
+		pass.Reportf(as.Pos(), "discarded error: result %d of %s is an error assigned to _; handle it, or annotate the call with //geolint:errok", i, calleeName(pass, call))
+	}
+}
+
+// returnsError reports whether the call's result type includes error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	for _, c := range resultComponents(tv.Type) {
+		if isErrorType(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultComponents flattens a call result type into its components.
+func resultComponents(t types.Type) []types.Type {
+	if tuple, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// excluded reports callees whose errors are conventionally ignored.
+func excluded(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := calleeObject(pass, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		switch strings.TrimPrefix(recv.Type().String(), "*") {
+		case "bytes.Buffer", "strings.Builder":
+			return true
+		}
+	}
+	return false
+}
+
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if obj := calleeObject(pass, call); obj != nil {
+		return obj.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package errlite_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/errlite"
+)
+
+func TestErrLite(t *testing.T) {
+	analysistest.Run(t, errlite.Analyzer, "testdata/errs")
+}

@@ -1,0 +1,71 @@
+// Package errs seeds discarded-error violations for the errlite
+// analyzer, alongside the exclusions that must stay silent.
+package errs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func boolPair() (int, bool) { return 0, false }
+
+// bareCall is the seeded violation: an error-returning call as a bare
+// statement.
+func bareCall() {
+	mayFail() // want `discarded error`
+}
+
+// deferredDrop loses a Close-style error at function exit.
+func deferredDrop() {
+	defer mayFail() // want `discarded error`
+}
+
+// goDrop loses the error on a goroutine.
+func goDrop() {
+	go mayFail() // want `discarded error`
+}
+
+// blanked assigns the error component to _.
+func blanked() int {
+	v, _ := pair() // want `discarded error`
+	return v
+}
+
+// blankOnly drops a lone error result into _.
+func blankOnly() {
+	_ = mayFail() // want `discarded error`
+}
+
+// handled checks its errors; silent.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	_ = v
+	return err
+}
+
+// boolDrop blanks a bool, not an error; silent.
+func boolDrop() int {
+	v, _ := boolPair()
+	return v
+}
+
+// excludedCallees exercises the conventional exclusions; silent.
+func excludedCallees(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintf(buf, "x=%d", 1)
+	buf.WriteString("a")
+	sb.WriteString("b")
+}
+
+// suppressed shows the escape hatch; silent.
+func suppressed() {
+	mayFail() //geolint:errok
+}

@@ -1,0 +1,3 @@
+module example.com/errs
+
+go 1.22

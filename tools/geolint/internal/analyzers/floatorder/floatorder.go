@@ -1,0 +1,138 @@
+// Package floatorder guards the parallel engine's determinism
+// invariant: every floating-point reduction in the hot-path packages
+// must combine partials in a fixed order, so that every Parallelism
+// setting produces bit-identical selections (DESIGN.md §5b). Two
+// patterns break that promise and are reported:
+//
+//  1. accumulating into a float across a range over a map — map
+//     iteration order is randomized, so the sum's rounding depends on
+//     the schedule;
+//  2. accumulating into a float captured from an enclosing scope inside
+//     a worker-pool loop body (a func literal passed to a Run method) —
+//     the combination order then depends on goroutine scheduling (and
+//     is a data race besides).
+//
+// Per-index writes (out[i] = ..., out[i] += ...) stay deterministic and
+// are not flagged; the blessed pattern is per-chunk partials combined in
+// chunk order.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+// Analyzer is the floatorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc:  "flags nondeterministically ordered float64 accumulation (map ranges, cross-worker captures) in the parallel hot paths",
+	PkgFilter: func(pkgPath string) bool {
+		for _, p := range []string{"internal/core", "internal/prefetch", "internal/parallel", "internal/sampling", "internal/isos"} {
+			if strings.HasSuffix(pkgPath, p) || strings.Contains(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.CallExpr:
+				checkPoolRun(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange reports float accumulators updated inside a range over a
+// map.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	reportEscapingFloatAccum(pass, rng.Body, rng.Pos(), rng.End(),
+		"float accumulation over map iteration order is nondeterministic; iterate a sorted slice or accumulate per-chunk partials")
+}
+
+// checkPoolRun reports float accumulators captured by a loop body handed
+// to a worker pool's Run method.
+func checkPoolRun(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Run" {
+		return
+	}
+	for _, arg := range call.Args {
+		fn, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		reportEscapingFloatAccum(pass, fn.Body, fn.Pos(), fn.End(),
+			"float accumulation into a captured variable inside a pool.Run body is schedule-ordered (and racy); write per-index partials and combine them in chunk order")
+	}
+}
+
+// reportEscapingFloatAccum reports compound float assignments inside
+// body whose target variable is declared outside [lo, hi) — i.e. an
+// accumulator that outlives the nondeterministically ordered loop.
+// Indexed writes (out[i] += ...) are per-element and therefore fine.
+func reportEscapingFloatAccum(pass *analysis.Pass, body *ast.BlockStmt, lo, hi token.Pos, msg string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			obj := accumTarget(pass, lhs)
+			if obj == nil || !isFloat(obj.Type()) {
+				continue
+			}
+			if obj.Pos() >= lo && obj.Pos() < hi {
+				continue // loop-local accumulator: order within one chunk is fixed
+			}
+			if pass.Suppressed(as.Pos(), "floatorder") {
+				continue
+			}
+			pass.Reportf(as.Pos(), "%s accumulates into %s declared outside the loop: %s", as.Tok, obj.Name(), msg)
+		}
+		return true
+	})
+}
+
+// accumTarget resolves the variable behind an accumulation target,
+// returning nil for targets (like index expressions) that are
+// per-element and deterministic.
+func accumTarget(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[lhs]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/floatorder"
+)
+
+func TestFloatOrder(t *testing.T) {
+	analysistest.Run(t, floatorder.Analyzer, "testdata/core")
+}

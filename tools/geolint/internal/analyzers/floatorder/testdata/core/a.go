@@ -1,0 +1,76 @@
+// Package core seeds deliberate violations of the floatorder analyzer
+// (plus negative cases that must stay silent).
+package core
+
+// pool mimics parallel.Pool's Run shape without importing it.
+type pool struct{}
+
+func (pool) Run(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// mapOrderSum is the seeded violation: a float64 reduction whose
+// rounding depends on randomized map iteration order.
+func mapOrderSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation over map iteration order`
+	}
+	return sum
+}
+
+// capturedAccum is the seeded violation for the cross-worker shape: a
+// captured accumulator mutated inside a pool.Run body.
+func capturedAccum(p pool, xs []float64) float64 {
+	var total float64
+	p.Run(len(xs), func(i int) {
+		total += xs[i] // want `captured variable inside a pool.Run body`
+	})
+	return total
+}
+
+// chunkedSum is the blessed pattern: per-index partials combined in
+// chunk order. It must not be flagged.
+func chunkedSum(p pool, xs []float64) float64 {
+	partials := make([]float64, 4)
+	p.Run(4, func(chunk int) {
+		var part float64 // chunk-local accumulator: fixed order within the chunk
+		for i := chunk; i < len(xs); i += 4 {
+			part += xs[i]
+		}
+		partials[chunk] = part
+	})
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}
+
+// mapKeysOnly ranges over a map without accumulating floats; silent.
+func mapKeysOnly(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// perIndex writes per-element inside the worker body; deterministic and
+// silent.
+func perIndex(p pool, out, xs []float64) {
+	p.Run(len(xs), func(i int) {
+		out[i] += xs[i] * 2
+	})
+}
+
+// suppressed shows the escape hatch.
+func suppressed(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //geolint:floatorder
+	}
+	return sum
+}

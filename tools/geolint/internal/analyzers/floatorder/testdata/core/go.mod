@@ -1,0 +1,3 @@
+module geosel/internal/core
+
+go 1.22

@@ -1,0 +1,83 @@
+// Package knobplumb verifies that every library-side construction of a
+// configuration struct carrying a Parallelism knob actually forwards the
+// knob. PR 1 plumbed Parallelism through core.Selector, isos.Config,
+// sampling.Config and geosel.Options; a wrapper that builds one of these
+// with keyed fields but silently omits Parallelism pins its callers to
+// the default and loses the serial/parallel trade-off (or, worse, the
+// determinism contract documentation attached to the knob). Deliberately
+// serial constructions — paper-methodology benchmarks, for example —
+// carry a "//geolint:serial" annotation.
+package knobplumb
+
+import (
+	"go/ast"
+	"go/types"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+// knob is the config field every wrapper must forward.
+const knob = "Parallelism"
+
+// Analyzer is the knobplumb check.
+var Analyzer = &analysis.Analyzer{
+	Name: "knobplumb",
+	Doc:  "flags keyed composite literals of Parallelism-bearing config structs that drop the Parallelism knob (library packages only)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		// Binaries and examples choose their own knob values; the
+		// plumbing obligation is on library wrappers.
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			check(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return // zero value: an explicit "all defaults" is fine
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok || !hasField(st, knob) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional literal: every field is present by construction
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == knob {
+			return
+		}
+	}
+	if pass.Suppressed(lit.Pos(), "serial") {
+		return
+	}
+	pass.Reportf(lit.Pos(), "composite literal of %s sets %d field(s) but drops the %s knob; forward it or annotate the literal with //geolint:serial",
+		tv.Type, len(lit.Elts), knob)
+}
+
+func hasField(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

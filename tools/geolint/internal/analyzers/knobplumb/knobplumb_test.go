@@ -1,0 +1,12 @@
+package knobplumb_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/knobplumb"
+)
+
+func TestKnobPlumb(t *testing.T) {
+	analysistest.Run(t, knobplumb.Analyzer, "testdata/wrap")
+}

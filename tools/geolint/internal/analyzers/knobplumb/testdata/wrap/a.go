@@ -1,0 +1,48 @@
+// Package wrap seeds a dropped-Parallelism-knob violation for the
+// knobplumb analyzer, alongside compliant constructions.
+package wrap
+
+// Selector mimics a Parallelism-bearing config struct (core.Selector,
+// isos.Config, ...).
+type Selector struct {
+	K           int
+	Theta       float64
+	Parallelism int
+}
+
+// Plain has no knob; its literals are never knobplumb's business.
+type Plain struct {
+	K int
+}
+
+// dropped is the seeded violation: a keyed literal that configures the
+// selector but silently pins the default parallelism.
+func dropped() *Selector {
+	return &Selector{K: 10, Theta: 0.5} // want `drops the Parallelism knob`
+}
+
+// forwarded plumbs the knob through; silent.
+func forwarded(p int) *Selector {
+	return &Selector{K: 10, Theta: 0.5, Parallelism: p}
+}
+
+// zeroValue is an explicit all-defaults literal; silent.
+func zeroValue() Selector {
+	return Selector{}
+}
+
+// positional literals state every field by construction; silent.
+func positional() Selector {
+	return Selector{10, 0.5, 2}
+}
+
+// deliberatelySerial documents the paper-methodology case; silent.
+func deliberatelySerial() *Selector {
+	//geolint:serial
+	return &Selector{K: 10, Theta: 0.5}
+}
+
+// noKnobType literals are ignored; silent.
+func noKnobType() Plain {
+	return Plain{K: 3}
+}

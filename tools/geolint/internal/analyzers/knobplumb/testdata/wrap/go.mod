@@ -1,0 +1,3 @@
+module example.com/wrap
+
+go 1.22

@@ -1,0 +1,50 @@
+// Package nopanic forbids panic in library packages: the selection
+// library is consumed by a long-running server, where a panic in a
+// request path takes down every session. Library code returns errors;
+// panics are reserved for package main (cmd/, examples/) and for the
+// build-tagged assertions of internal/invariant, whose panicking file
+// only exists under the geoselcheck tag and therefore never reaches a
+// release build. A "//geolint:allowpanic" annotation permits the rare
+// deliberate case (e.g. a provably unreachable default branch).
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+// Analyzer is the nopanic check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbids panic calls in library (non-main) packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if pass.Suppressed(call.Pos(), "allowpanic") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library package %s: return an error instead (panics are reserved for package main and geoselcheck assertions), or annotate with //geolint:allowpanic", pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, nopanic.Analyzer, "testdata/lib")
+}
+
+func TestNoPanicSkipsMain(t *testing.T) {
+	analysistest.Run(t, nopanic.Analyzer, "testdata/cmdok")
+}

@@ -1,0 +1,3 @@
+module example.com/cmdok
+
+go 1.22

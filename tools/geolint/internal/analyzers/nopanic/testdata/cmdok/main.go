@@ -1,0 +1,7 @@
+// Command cmdok panics freely: nopanic only polices library packages.
+package main
+
+func main() {
+	defer func() { _ = recover() }()
+	panic("fine in package main")
+}

@@ -1,0 +1,30 @@
+// Package lib seeds a library panic for the nopanic analyzer.
+package lib
+
+import "fmt"
+
+// boom is the seeded violation: a panic in a library package.
+func boom(x int) {
+	if x < 0 {
+		panic("negative") // want `panic in library package`
+	}
+}
+
+// asError returns instead of panicking; silent.
+func asError(x int) error {
+	if x < 0 {
+		return fmt.Errorf("negative %d", x)
+	}
+	return nil
+}
+
+// unreachableDefault documents the deliberate case; silent.
+func unreachableDefault(k int) int {
+	switch k {
+	case 0, 1:
+		return k
+	default:
+		//geolint:allowpanic
+		panic("unreachable: k is validated at the API boundary")
+	}
+}

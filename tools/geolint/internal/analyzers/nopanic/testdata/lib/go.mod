@@ -1,0 +1,3 @@
+module example.com/lib
+
+go 1.22

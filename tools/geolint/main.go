@@ -1,0 +1,93 @@
+// Command geolint is the project's custom static-analysis suite: a
+// multichecker over the invariants that the paper's correctness
+// arguments — and PR 1's determinism contract — rest on. It runs in two
+// modes:
+//
+//	go run ./tools/geolint ./...        # standalone, loads packages itself
+//	go vet -vettool=$(which geolint) ./...  # driven by cmd/go per package
+//
+// The framework underneath is a dependency-free re-implementation of
+// the golang.org/x/tools go/analysis surface (see internal/analysis),
+// because this repository builds against the standard library only.
+//
+// Analyzers:
+//
+//	floatorder  nondeterministically ordered float accumulation in the
+//	            parallel hot paths (map ranges, cross-worker captures)
+//	knobplumb   config wrappers that drop the Parallelism knob
+//	errlite     silently discarded errors outside tests
+//	nopanic     panic in library packages
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"geosel/tools/geolint/internal/analysis"
+	"geosel/tools/geolint/internal/analyzers/errlite"
+	"geosel/tools/geolint/internal/analyzers/floatorder"
+	"geosel/tools/geolint/internal/analyzers/knobplumb"
+	"geosel/tools/geolint/internal/analyzers/nopanic"
+)
+
+// All is the geolint analyzer suite.
+var All = []*analysis.Analyzer{
+	floatorder.Analyzer,
+	knobplumb.Analyzer,
+	errlite.Analyzer,
+	nopanic.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go probes a vettool with -V=full (version for the build
+	// cache) and -flags (supported analyzer flags) before driving it.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			analysis.PrintVersion("geolint")
+			return
+		case arg == "-flags" || arg == "--flags":
+			analysis.PrintFlags()
+			return
+		}
+	}
+	if len(args) == 1 && analysis.IsVetConfig(args[0]) {
+		analysis.RunVetTool(All, args[0])
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.Run(All, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(relativize(d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "geolint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relativize shortens absolute file paths to the working directory for
+// readable output.
+func relativize(d analysis.Diagnostic) string {
+	s := d.String()
+	if wd, err := os.Getwd(); err == nil {
+		s = strings.ReplaceAll(s, wd+string(os.PathSeparator), "")
+	}
+	return s
+}
