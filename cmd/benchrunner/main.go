@@ -1,11 +1,13 @@
 // Command benchrunner regenerates the paper's tables and figures on the
-// synthetic datasets and prints each as an aligned text table (or CSV).
+// synthetic datasets and prints each as an aligned text table (or CSV),
+// and hosts the repo's structured perf suites (BENCH_*.json).
 //
 // Usage:
 //
 //	benchrunner -list
 //	benchrunner -exp fig7
 //	benchrunner -exp all -uk 100000 -us 400000 -poi 30000 -queries 3
+//	benchrunner -suite pruned-vs-dense
 package main
 
 import (
@@ -21,6 +23,8 @@ func main() {
 	var (
 		exp     = flag.String("exp", "", "exhibit id (table3, table4, fig7..fig14, fig18..fig23) or 'all'")
 		list    = flag.Bool("list", false, "list exhibit ids and exit")
+		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense (writes BENCH_pruned.json)")
+		out     = flag.String("out", "BENCH_pruned.json", "output path for -suite")
 		ukSize  = flag.Int("uk", 0, "UK-like dataset size (0 = default)")
 		usSize  = flag.Int("us", 0, "US-like dataset size (0 = default)")
 		poiSize = flag.Int("poi", 0, "POI-like dataset size (0 = default)")
@@ -29,6 +33,18 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	)
 	flag.Parse()
+
+	if *suite != "" {
+		if *suite != "pruned-vs-dense" {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown suite %q\n", *suite)
+			os.Exit(2)
+		}
+		if err := runPrunedSuite(*out, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: pruned-vs-dense:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.ExhibitIDs() {

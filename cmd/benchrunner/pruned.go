@@ -1,0 +1,171 @@
+package main
+
+// The pruned-vs-dense suite: the same clustered selection workloads run
+// with the support-radius pruned marginal-gain engine and with the dense
+// engine, timed wall-clock, written as BENCH_pruned.json. The Euclidean
+// workload doubles as an end-to-end equivalence check — the suite fails
+// unless the pruned selection is identical to the dense one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"geosel/internal/core"
+	"geosel/internal/dataset"
+	"geosel/internal/sim"
+)
+
+// prunedWorkload is one row of BENCH_pruned.json.
+type prunedWorkload struct {
+	Name string `json:"name"`
+	// N is the object count, K the selection size, Theta the visibility
+	// threshold on the unit viewport.
+	N     int     `json:"n"`
+	K     int     `json:"k"`
+	Theta float64 `json:"theta"`
+	// Radius is the metric's support radius; RadiusCoverage is the
+	// fraction of the (unit) viewport side it spans.
+	Radius         float64 `json:"radius"`
+	RadiusCoverage float64 `json:"radius_coverage"`
+	PruneEps       float64 `json:"prune_eps"`
+	DenseNs        int64   `json:"dense_ns_op"`
+	PrunedNs       int64   `json:"pruned_ns_op"`
+	Speedup        float64 `json:"speedup"`
+	// IdenticalSelection reports the in-suite equivalence check: for the
+	// exact path (Euclidean, PruneEps=0) it must be true.
+	IdenticalSelection bool `json:"identical_selection"`
+	// ScoreDelta is dense score minus pruned score (zero on the exact
+	// path; bounded by PruneEps·Σω/n on the ε path).
+	ScoreDelta float64 `json:"score_delta"`
+}
+
+// prunedReport is the BENCH_pruned.json schema.
+type prunedReport struct {
+	Cores     int              `json:"cores"`
+	Reps      int              `json:"reps"`
+	Workloads []prunedWorkload `json:"workloads"`
+	Note      string           `json:"note"`
+}
+
+// runPrunedSuite measures dense versus support-radius-pruned selection
+// on a clustered 50k-object dataset and writes the report to out.
+func runPrunedSuite(out string, seed int64) error {
+	const (
+		n    = 50000
+		k    = 100
+		side = 1.0 // generated data fills the unit viewport
+		reps = 2
+	)
+	theta := 0.003 * side
+
+	col, err := dataset.Generate(dataset.UKSpec(n, seed))
+	if err != nil {
+		return err
+	}
+	objs := col.Objects
+	// Stride the candidate set (as BenchmarkParallelEngine does) so one
+	// dense run stays in seconds while each marginal gain still costs
+	// |O| similarity calls.
+	var cands []int
+	for c := 0; c < len(objs); c += 10 {
+		cands = append(cands, c)
+	}
+
+	run := func(m sim.Metric, pruneEps float64, dense bool) (*core.Result, int64, error) {
+		best := int64(math.MaxInt64)
+		var res *core.Result
+		for rep := 0; rep < reps; rep++ {
+			s := &core.Selector{
+				Objects: objs, K: k, Theta: theta, Metric: m,
+				Candidates: cands, PruneEps: pruneEps, DisablePrune: dense,
+			}
+			start := time.Now()
+			r, err := s.Run()
+			if err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(start).Nanoseconds(); d < best {
+				best = d
+			}
+			res = r
+		}
+		return res, best, nil
+	}
+
+	report := prunedReport{
+		Cores: runtime.NumCPU(),
+		Reps:  reps,
+		Note: fmt.Sprintf("clustered UK-like dataset, n=%d, strided candidate set of %d, best of %d; "+
+			"dense = DisablePrune, pruned = support-radius neighbor lists", n, len(cands), reps),
+	}
+
+	type spec struct {
+		name     string
+		metric   sim.Metric
+		pruneEps float64
+		radius   float64
+		exact    bool
+	}
+	euclid := sim.EuclideanProximity{MaxDist: 0.04 * side}
+	gauss := sim.GaussianProximity{Sigma: 0.038 * side}
+	gaussEps := 1e-3
+	gaussR, _ := gauss.SupportRadius(gaussEps)
+	specs := []spec{
+		{"euclidean-exact", euclid, 0, euclid.MaxDist, true},
+		{"gaussian-eps", gauss, gaussEps, gaussR, false},
+	}
+	for _, sp := range specs {
+		denseRes, denseNs, err := run(sp.metric, sp.pruneEps, true)
+		if err != nil {
+			return err
+		}
+		prunedRes, prunedNs, err := run(sp.metric, sp.pruneEps, false)
+		if err != nil {
+			return err
+		}
+		identical := sameSelection(denseRes, prunedRes)
+		if sp.exact && !identical {
+			return fmt.Errorf("%s: pruned selection differs from dense (exact path must be bitwise-identical)", sp.name)
+		}
+		report.Workloads = append(report.Workloads, prunedWorkload{
+			Name: sp.name, N: n, K: k, Theta: theta,
+			Radius: sp.radius, RadiusCoverage: sp.radius / side, PruneEps: sp.pruneEps,
+			DenseNs: denseNs, PrunedNs: prunedNs,
+			Speedup:            float64(denseNs) / float64(prunedNs),
+			IdenticalSelection: identical,
+			ScoreDelta:         denseRes.Score - prunedRes.Score,
+		})
+		fmt.Fprintf(os.Stderr, "[%s: dense %v, pruned %v, %.2fx]\n", sp.name,
+			time.Duration(denseNs).Round(time.Millisecond),
+			time.Duration(prunedNs).Round(time.Millisecond),
+			float64(denseNs)/float64(prunedNs))
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+	return nil
+}
+
+// sameSelection reports whether two runs selected the same objects in
+// the same order with bitwise-equal scores.
+func sameSelection(a, b *core.Result) bool {
+	if len(a.Selected) != len(b.Selected) || a.Score != b.Score {
+		return false
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			return false
+		}
+	}
+	return true
+}

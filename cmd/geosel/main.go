@@ -37,15 +37,16 @@ func main() {
 		sample    = flag.Bool("sample", false, "use SaSS sampling (for dense regions)")
 		showMap   = flag.Bool("map", false, "print an ASCII map of the selection")
 		par       = flag.Int("parallelism", 0, "marginal-gain evaluation workers (0 = all CPUs, 1 = serial)")
+		pruneEps  = flag.Float64("prune-eps", 0, "support-radius pruning mode: 0 = exact-only (bitwise-identical), (0,1) = eps-pruning for eps-support metrics")
 	)
 	flag.Parse()
-	if err := run(*data, *preset, *n, *seed, *cx, *cy, *side, *k, *thetaFrac, *sample, *showMap, *par); err != nil {
+	if err := run(*data, *preset, *n, *seed, *cx, *cy, *side, *k, *thetaFrac, *sample, *showMap, *par, *pruneEps); err != nil {
 		fmt.Fprintln(os.Stderr, "geosel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, thetaFrac float64, sample, showMap bool, parallelism int) error {
+func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, thetaFrac float64, sample, showMap bool, parallelism int, pruneEps float64) error {
 	col, err := loadOrGenerate(data, preset, n, seed)
 	if err != nil {
 		return err
@@ -66,7 +67,7 @@ func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, th
 		res, err := sampling.Run(objs, sampling.Config{
 			K: k, Theta: theta, Metric: metric,
 			Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(seed)),
-			Parallelism: parallelism,
+			Parallelism: parallelism, PruneEps: pruneEps,
 		})
 		if err != nil {
 			return err
@@ -75,7 +76,8 @@ func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, th
 		score = core.Score(objs, selected, metric, core.AggMax)
 		fmt.Printf("sampled %d of %d region objects\n", res.SampleSize, len(objs))
 	} else {
-		sel := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: metric, Parallelism: parallelism}
+		sel := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: metric,
+			Parallelism: parallelism, PruneEps: pruneEps}
 		res, err := sel.Run()
 		if err != nil {
 			return err

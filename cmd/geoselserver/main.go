@@ -34,13 +34,14 @@ import (
 
 func main() {
 	var (
-		data   = flag.String("data", "", "dataset file (CSV, JSONL or binary snapshot); empty = generate a preset")
-		preset = flag.String("preset", "poi", "preset when generating: uk, us or poi")
-		n      = flag.Int("n", 50000, "generated dataset size")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		addr   = flag.String("addr", ":8080", "listen address")
-		tfidf  = flag.Bool("tfidf", false, "apply TF-IDF reweighting to the term vectors")
-		par    = flag.Int("parallelism", 0, "selection worker goroutines: 0 = all CPUs, 1 = serial")
+		data     = flag.String("data", "", "dataset file (CSV, JSONL or binary snapshot); empty = generate a preset")
+		preset   = flag.String("preset", "poi", "preset when generating: uk, us or poi")
+		n        = flag.Int("n", 50000, "generated dataset size")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		addr     = flag.String("addr", ":8080", "listen address")
+		tfidf    = flag.Bool("tfidf", false, "apply TF-IDF reweighting to the term vectors")
+		par      = flag.Int("parallelism", 0, "selection worker goroutines: 0 = all CPUs, 1 = serial")
+		pruneEps = flag.Float64("prune-eps", 0, "support-radius pruning mode: 0 = exact-only (bitwise-identical), (0,1) = eps-pruning for eps-support metrics")
 	)
 	flag.Parse()
 
@@ -60,6 +61,9 @@ func main() {
 		log.Fatal("geoselserver: ", err)
 	}
 	srv.SetParallelism(*par)
+	if err := srv.SetPruneEps(*pruneEps); err != nil {
+		log.Fatal("geoselserver: ", err)
+	}
 	log.Printf("serving %d objects on %s", store.Len(), *addr)
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -136,6 +136,16 @@ type Options struct {
 	// only. With Parallelism != 1 the Metric must be safe for
 	// concurrent use — all metrics constructed by this package are.
 	Parallelism int
+	// PruneEps is the support-radius pruning mode of the greedy core.
+	// The default 0 admits exact pruning only: distance-decaying
+	// metrics with a hard cutoff (EuclideanProximity) evaluate gains
+	// over grid neighbor lists instead of every region object, with
+	// bitwise-identical results guaranteed. A value in (0, 1)
+	// additionally admits metrics with an eps-support radius
+	// (GaussianProximity), trading an additive score error of at most
+	// PruneEps·Σω/|O| for the same speedup. Metrics without bounded
+	// support (Cosine) always evaluate densely.
+	PruneEps float64
 }
 
 // Result is the outcome of a one-shot selection.
@@ -201,7 +211,7 @@ func Select(store *Store, region Rect, opts Options) (*Result, error) {
 		sres, err := sampling.Run(objs, sampling.Config{
 			K: opts.K, Theta: theta, Metric: opts.Metric,
 			Eps: eps, Delta: delta, Rng: rng,
-			Parallelism: opts.Parallelism,
+			Parallelism: opts.Parallelism, PruneEps: opts.PruneEps,
 		})
 		if err != nil {
 			return nil, err
@@ -215,7 +225,7 @@ func Select(store *Store, region Rect, opts Options) (*Result, error) {
 	}
 
 	sel := &core.Selector{Objects: objs, K: opts.K, Theta: theta, Metric: opts.Metric,
-		MinGain: opts.MinGain, Parallelism: opts.Parallelism}
+		MinGain: opts.MinGain, Parallelism: opts.Parallelism, PruneEps: opts.PruneEps}
 	res, err := sel.Run()
 	if err != nil {
 		return nil, err

@@ -68,6 +68,23 @@ type Selector struct {
 	// smaller than a few hundred objects run serially regardless.
 	Parallelism int
 
+	// PruneEps selects the support-radius pruning mode. The default 0
+	// permits exact pruning only: gain passes iterate grid neighbor
+	// lists instead of all of O whenever the metric's similarity is
+	// exactly zero beyond a finite radius (EuclideanProximity), with
+	// bitwise-identical Selected, Score and Gains guaranteed. A value
+	// in (0, 1) additionally admits metrics that certify an eps-support
+	// radius (GaussianProximity beyond Sigma·sqrt(ln(1/eps))), trading
+	// an additive score error of at most PruneEps·Σω/|O| (AggMax; AggSum
+	// accumulates the budget once per selected object) for the same
+	// neighbor-list speedup. Metrics without bounded support (Cosine,
+	// custom) always evaluate densely, as do instances below the serial
+	// cutoff.
+	PruneEps float64
+	// DisablePrune switches off support-radius pruning entirely, even
+	// for metrics with an exact radius. For ablation benchmarks.
+	DisablePrune bool
+
 	// DisableLazy switches off the lazy-forward strategy and recomputes
 	// every candidate's marginal gain in every iteration (the "naive
 	// idea" the paper rejects). For ablation benchmarks.
@@ -91,7 +108,8 @@ type Result struct {
 	// full selection (Equation 2).
 	Score float64
 	// Evals counts full marginal-gain computations (each costing one
-	// metric call per object in O) — the paper's n_c. Lazy forward
+	// metric call per object in O, or per support neighbor when the
+	// pruned engine is active) — the paper's n_c. Lazy forward
 	// keeps Evals far below |G|·K. With Parallelism > 1 the batched
 	// re-evaluation of stale heap tops may refresh a few extra
 	// candidates per round, so Evals can exceed the serial count even
@@ -135,12 +153,6 @@ func (s *Selector) Run() (*Result, error) {
 	best := make([]float64, n)
 	selected := make([]int, 0, s.K)
 
-	// Seed with the forced set D.
-	for _, f := range s.Forced {
-		selected = append(selected, f)
-		e.absorb(best, f)
-	}
-
 	candidates := s.Candidates
 	if candidates == nil {
 		candidates = make([]int, n)
@@ -180,6 +192,24 @@ func (s *Selector) Run() (*Result, error) {
 		}
 	}
 
+	// Support-radius pruning: build neighbor lists for every id the run
+	// will evaluate or absorb — the active candidates (picks come from
+	// them) and the forced set — before the first absorb touches the
+	// aggregation state.
+	if !s.DisablePrune {
+		rowIDs := active
+		if len(s.Forced) > 0 {
+			rowIDs = append(append(make([]int, 0, len(active)+len(s.Forced)), active...), s.Forced...)
+		}
+		e.enablePruning(s.Metric, s.PruneEps, rowIDs)
+	}
+
+	// Seed with the forced set D.
+	for _, f := range s.Forced {
+		selected = append(selected, f)
+		e.absorb(best, f)
+	}
+
 	if s.DisableLazy {
 		if err := s.runNaive(e, res, best, selected, active); err != nil {
 			return nil, err
@@ -201,6 +231,9 @@ func (s *Selector) validate() error {
 	}
 	if s.Metric == nil {
 		return fmt.Errorf("core: Metric must not be nil")
+	}
+	if s.PruneEps < 0 || s.PruneEps >= 1 {
+		return fmt.Errorf("core: PruneEps = %v outside [0, 1)", s.PruneEps)
 	}
 	n := len(s.Objects)
 	for _, c := range s.Candidates {

@@ -39,6 +39,9 @@ type evaluator struct {
 	// partials holds one partial sum per chunk; reused by the
 	// single-orchestrator reductions (marginal, score).
 	partials []float64
+	// nbr is the support-radius neighbor index (pruned.go); nil keeps
+	// every pass dense.
+	nbr *neighborIndex
 }
 
 // newEvaluator compiles the metric into a kernel and binds the pool.

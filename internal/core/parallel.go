@@ -10,10 +10,20 @@
 // partials and combine them in chunk order.
 package core
 
+import "geosel/internal/invariant"
+
 // absorb updates the per-object aggregation state after adding object
 // sel to the selection. Writes are per-object, so chunks are
-// independent.
+// independent. With a neighbor index, only sel's support neighborhood
+// is visited; ids without a row (never the case in a well-formed run)
+// fall through to the dense pass.
 func (e *evaluator) absorb(best []float64, sel int) {
+	if e.nbr != nil {
+		if row, ok := e.nbr.row(sel); ok {
+			e.absorbPruned(best, sel, row)
+			return
+		}
+	}
 	kern := e.kern
 	n := len(e.objs)
 	if e.agg == AggSum || e.agg == AggAvg {
@@ -92,6 +102,28 @@ func (e *evaluator) marginalLocal(best []float64, c int) float64 {
 // batched lazy re-evaluation of stale heap tops.
 func (e *evaluator) marginalBatch(best []float64, cs []int) []float64 {
 	out := make([]float64, len(cs))
+	if e.nbr != nil {
+		// Pruned rows are short, so even a lone candidate runs its row
+		// locally instead of sharding the dense chunks — the emulated
+		// chunk order keeps the value bitwise-identical either way.
+		if len(cs) == 1 {
+			out[0] = e.marginalPruned(best, cs[0])
+		} else {
+			e.pool.Run(len(cs), func(k int) {
+				out[k] = e.marginalPruned(best, cs[k])
+			})
+		}
+		if invariant.Enabled {
+			// The pruning contract: dense recomputation agrees bitwise
+			// on an exact radius and exceeds the pruned gain by at most
+			// the truncation budget otherwise.
+			for k, c := range cs {
+				invariant.PrunedGain(out[k], e.marginalLocal(best, c), e.nbr.exact, e.nbr.epsBound,
+					"core: support-radius pruned marginal gain")
+			}
+		}
+		return out
+	}
 	if len(cs) == 1 {
 		// A lone candidate still gets the chunk-sharded path.
 		out[0] = e.marginal(best, cs[0])

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+)
+
+// prunedEuclidean is a support radius well under the unit square's
+// diagonal, so the neighbor index genuinely engages (the matrix tests
+// in parallel_test.go use MaxDist = √2, which the diagonal guard
+// rightly refuses to prune).
+var prunedEuclidean = sim.EuclideanProximity{MaxDist: 0.15}
+
+// TestPrunedMatchesDenseMatrix is the headline equivalence guarantee of
+// support-radius pruning: for EuclideanProximity the pruned engine
+// returns bitwise-identical Selected, Score and Gains to the dense
+// engine, across aggregations, K, θ and the P=1/P=N matrix from PR 1.
+func TestPrunedMatchesDenseMatrix(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		// n = 700 spans three chunks and sits above the serial cutoff,
+		// so the index is actually built.
+		objs := testObjects(700, 1700+seed)
+		for _, agg := range []Agg{AggMax, AggSum, AggAvg} {
+			for _, k := range []int{6, 25} {
+				for _, theta := range []float64{0, 0.04} {
+					dense := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta,
+						Metric: prunedEuclidean, Agg: agg, Parallelism: 1, DisablePrune: true})
+					for _, par := range []int{1, 4} {
+						pruned := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta,
+							Metric: prunedEuclidean, Agg: agg, Parallelism: par})
+						assertIdenticalResults(t, dense, pruned, "pruned-"+agg.String(), seed, k, theta, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedMatchesDenseWithForcedAndBounds drives the pruned engine
+// through the interactive-session shape: an explicit candidate set, a
+// forced set absorbed before any pick, and loose prefetched upper
+// bounds forcing every candidate through the stale-refresh path.
+func TestPrunedMatchesDenseWithForcedAndBounds(t *testing.T) {
+	objs := testObjects(600, 41)
+	forced := []int{3, 407}
+	cands := make([]int, 0, len(objs))
+	for i := range objs {
+		if i%2 == 0 && i != 3 && i != 407 {
+			cands = append(cands, i)
+		}
+	}
+	var wsum float64
+	for i := range objs {
+		wsum += objs[i].Weight
+	}
+	bounds := make([]float64, len(cands))
+	for i := range bounds {
+		bounds[i] = wsum // trivially valid upper bound (Sim <= 1)
+	}
+	build := func(par int, disable bool, withBounds bool) *Selector {
+		s := &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: prunedEuclidean,
+			Candidates: cands, Forced: forced, Parallelism: par, DisablePrune: disable}
+		if withBounds {
+			s.InitialGains = bounds
+		}
+		return s
+	}
+	for _, withBounds := range []bool{false, true} {
+		dense := mustRun(t, build(1, true, withBounds))
+		for _, par := range []int{1, 8} {
+			pruned := mustRun(t, build(par, false, withBounds))
+			assertIdenticalResults(t, dense, pruned, "pruned-forced", 41, 10, 0.03, par)
+		}
+	}
+}
+
+// TestPrunedNaiveMatchesDense covers the DisableLazy sweep path, whose
+// per-iteration batches also dispatch through the pruned evaluator.
+func TestPrunedNaiveMatchesDense(t *testing.T) {
+	objs := testObjects(600, 53)
+	dense := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.05, Metric: prunedEuclidean,
+		Parallelism: 1, DisableLazy: true, DisablePrune: true})
+	pruned := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.05, Metric: prunedEuclidean,
+		Parallelism: 4, DisableLazy: true})
+	assertIdenticalResults(t, dense, pruned, "pruned-naive", 53, 8, 0.05, 4)
+}
+
+// TestPrunedSpatialHybrid checks that an Alpha = 0 hybrid — all weight
+// on the spatial part — inherits its exact radius and stays bitwise
+// equal, while the usual Alpha > 0 cosine hybrid silently runs dense.
+func TestPrunedSpatialHybrid(t *testing.T) {
+	objs := testObjects(600, 67)
+	spatial := sim.Hybrid{Alpha: 0, Text: sim.Cosine{}, Spatial: prunedEuclidean}
+	dense := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: spatial,
+		Parallelism: 1, DisablePrune: true})
+	pruned := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: spatial, Parallelism: 4})
+	assertIdenticalResults(t, dense, pruned, "pruned-hybrid", 67, 10, 0.03, 4)
+}
+
+// TestPrunedGaussianEpsBound is the property test of the eps path: for
+// random instances, the score the eps-pruned run reports may undershoot
+// the dense Sim(O, S) of the same selection by at most eps·Σω/|O| and
+// never overshoot it (beyond reduction-order noise).
+func TestPrunedGaussianEpsBound(t *testing.T) {
+	const eps = 1e-3
+	m := sim.GaussianProximity{Sigma: 0.04}
+	for seed := int64(0); seed < 4; seed++ {
+		objs := testObjects(800, 2400+seed)
+		var wsum float64
+		for i := range objs {
+			wsum += objs[i].Weight
+		}
+		res := mustRun(t, &Selector{Objects: objs, K: 15, Theta: 0.03, Metric: m,
+			PruneEps: eps, Parallelism: 1})
+		if len(res.Selected) == 0 {
+			t.Fatalf("seed %d: empty selection", seed)
+		}
+		// Score evaluates densely here: the Gaussian offers no exact
+		// radius, and Score never applies eps truncation.
+		exact := Score(objs, res.Selected, m, AggMax)
+		budget := eps * wsum / float64(len(objs))
+		slack := 1e-12 * wsum
+		if res.Score > exact+slack {
+			t.Fatalf("seed %d: pruned score %v overshoots dense score %v", seed, res.Score, exact)
+		}
+		if exact-res.Score > budget+slack {
+			t.Fatalf("seed %d: pruned score %v undershoots dense score %v beyond the eps budget %v",
+				seed, res.Score, exact, budget)
+		}
+	}
+}
+
+// TestPruneEpsValidation pins the knob's domain.
+func TestPruneEpsValidation(t *testing.T) {
+	objs := testObjects(20, 5)
+	for _, eps := range []float64{-0.1, 1, 1.5} {
+		s := &Selector{Objects: objs, K: 3, Theta: 0.01, Metric: prunedEuclidean, PruneEps: eps}
+		if _, err := s.Run(); err == nil {
+			t.Fatalf("PruneEps = %v should fail validation", eps)
+		}
+	}
+}
+
+// degenerateSupport wraps a metric and certifies a degenerate support
+// radius — the misuse the grid satellite guards against: the engine
+// must fall back to dense evaluation, never build an empty neighbor
+// set.
+type degenerateSupport struct {
+	base sim.Metric
+	r    float64
+}
+
+func (d degenerateSupport) Sim(a, b *geodata.Object) float64 { return d.base.Sim(a, b) }
+
+func (d degenerateSupport) SupportRadius(eps float64) (float64, bool) { return d.r, true }
+
+// TestPrunedDegenerateRadiusFallsBackDense: radii of 0 and below (and
+// NaN) must yield exactly the dense selection, not an empty or
+// truncated one.
+func TestPrunedDegenerateRadiusFallsBackDense(t *testing.T) {
+	objs := testObjects(600, 29)
+	base := sim.EuclideanProximity{MaxDist: 0.2}
+	dense := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.03, Metric: base,
+		Parallelism: 1, DisablePrune: true})
+	for _, r := range []float64{0, -1, math.NaN()} {
+		m := degenerateSupport{base: base, r: r}
+		got := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.03, Metric: m, Parallelism: 1})
+		if len(got.Selected) != len(dense.Selected) {
+			t.Fatalf("r=%v: selected %d objects, dense selects %d", r, len(got.Selected), len(dense.Selected))
+		}
+		for i := range dense.Selected {
+			if got.Selected[i] != dense.Selected[i] {
+				t.Fatalf("r=%v: pick %d differs: %d vs %d", r, i, got.Selected[i], dense.Selected[i])
+			}
+		}
+	}
+}
+
+// TestPrunedScoreBitwise pins Score's exact-only pruning: for a
+// bounded-support metric the pruned Score equals the dense evaluation
+// bitwise (the interface-fallback wrapper runs the same arithmetic but
+// never certifies a radius).
+func TestPrunedScoreBitwise(t *testing.T) {
+	objs := testObjects(2000, 91)
+	sel := []int{5, 100, 700, 1500, 1999, 42, 321, 876, 1234, 11}
+	pruned := Score(objs, sel, prunedEuclidean, AggMax)
+	dense := Score(objs, sel, sim.Func(prunedEuclidean.Sim), AggMax)
+	if pruned != dense {
+		t.Fatalf("pruned Score %v != dense Score %v", pruned, dense)
+	}
+	prunedSum := Score(objs, sel, prunedEuclidean, AggSum)
+	denseSum := Score(objs, sel, sim.Func(prunedEuclidean.Sim), AggSum)
+	if prunedSum != denseSum {
+		t.Fatalf("pruned AggSum Score %v != dense %v", prunedSum, denseSum)
+	}
+}

@@ -55,7 +55,7 @@ func (e *Env) Ablations(id string) (*Table, error) {
 		var res *core.Result
 		d := timeIt(func() {
 			// Timed single-threaded, matching the paper's measurement setup.
-			//geolint:serial
+			//geolint:serial,exact
 			s := &core.Selector{Objects: lazyObjs, K: DefaultK, Theta: theta,
 				Metric: m, DisableLazy: variant.disable}
 			res, err = s.Run()
@@ -72,7 +72,7 @@ func (e *Env) Ablations(id string) (*Table, error) {
 		disable bool
 	}{{"grid", false}, {"linear", true}} {
 		d := timeIt(func() {
-			//geolint:serial
+			//geolint:serial,exact
 			s := &core.Selector{Objects: objs, K: DefaultK, Theta: theta,
 				Metric: m, DisableGrid: variant.disable}
 			_, err = s.Run()
@@ -87,7 +87,7 @@ func (e *Env) Ablations(id string) (*Table, error) {
 	for _, bound := range []sampling.Bound{sampling.BoundSerfling, sampling.BoundHoeffding} {
 		var sres *sampling.Result
 		d := timeIt(func() {
-			//geolint:serial
+			//geolint:serial,exact
 			sres, err = sampling.Run(objs, sampling.Config{
 				K: DefaultK, Theta: theta, Metric: m,
 				Eps: DefaultEps, Delta: DefaultDelta, Bound: bound, Rng: rng,
@@ -161,7 +161,7 @@ func (e *Env) Ablations(id string) (*Table, error) {
 // and returns (response, prefetch cost).
 func (e *Env) isosTrialPrefetch(store *geodata.Store, region, inner geo.Rect, tiles int) (time.Duration, time.Duration, error) {
 	// Timed single-threaded, matching the paper's measurement setup.
-	//geolint:serial
+	//geolint:serial,exact
 	sess, err := isos.NewSession(store, isos.Config{
 		K: DefaultK, ThetaFrac: DefaultThetaFrac, Metric: Metric(), TilesPerSide: tiles,
 	})

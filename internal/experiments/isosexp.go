@@ -52,7 +52,7 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 	// ablated in bench_test.go; it trades query-time tile sums for
 	// tighter bounds.)
 	// Timed single-threaded, matching the paper's measurement setup.
-	//geolint:serial
+	//geolint:serial,exact
 	cfg := isos.Config{K: k, ThetaFrac: thetaFrac, Metric: Metric(), MaxZoomOutScale: 2}
 	if op == geo.OpZoomOut && zoomScale > cfg.MaxZoomOutScale {
 		// Cover exactly the swept zoom-out scale: the prefetch envelope
@@ -93,7 +93,7 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 		objs := store.Collection().Subset(store.Region(target))
 		theta := thetaFrac * target.Width()
 		response = timeIt(func() {
-			//geolint:serial
+			//geolint:serial,exact
 			s := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: Metric()}
 			_, err = s.Run()
 		})

@@ -35,7 +35,7 @@ func runMethod(method string, objs []geodata.Object, k int, theta float64, rng *
 		case baselines.NameGreedy:
 			var res *core.Result
 			// Timed single-threaded, matching the paper's measurement setup.
-			//geolint:serial
+			//geolint:serial,exact
 			s := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: m}
 			res, err = s.Run()
 			if err == nil {
@@ -44,7 +44,7 @@ func runMethod(method string, objs []geodata.Object, k int, theta float64, rng *
 			}
 		case baselines.NameSaSS:
 			var res *sampling.Result
-			//geolint:serial
+			//geolint:serial,exact
 			res, err = sampling.Run(objs, sampling.Config{
 				K: k, Theta: theta, Metric: m,
 				Eps: DefaultEps, Delta: DefaultDelta, Rng: rng,
@@ -207,7 +207,7 @@ func (e *Env) SamplingSweep(id string, varyEps bool) (*Table, error) {
 			var err error
 			var sres *sampling.Result
 			accS += timeIt(func() {
-				//geolint:serial
+				//geolint:serial,exact
 				sres, err = sampling.Run(objs, sampling.Config{
 					K: DefaultK, Theta: theta, Metric: Metric(),
 					Eps: eps, Delta: delta, Rng: rng,

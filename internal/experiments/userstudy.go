@@ -90,7 +90,7 @@ func (e *Env) runStudyMethods(id string, objs []geodata.Object, k int, theta flo
 
 	// Methods run single-threaded; the study compares selections, not
 	// runtimes, and serial runs keep the fixtures deterministic.
-	//geolint:serial
+	//geolint:serial,exact
 	g := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: m}
 	res, err := g.Run()
 	if err != nil {
@@ -228,7 +228,7 @@ func (e *Env) UserStudyISOS(id string) (*Table, error) {
 	}
 
 	for _, op := range ops {
-		//geolint:serial
+		//geolint:serial,exact
 		sess, err := isos.NewSession(store, isos.Config{
 			K: userStudyK, ThetaFrac: 0, Metric: m,
 		})

@@ -116,7 +116,14 @@ func (g *Grid) Within(q geo.Point, d float64, fn func(id int, p geo.Point) bool)
 		return
 	}
 	d2 := d * d
-	r := int(d/g.cell) + 1
+	// Clamp the cell ring before converting to int: for d spanning the
+	// whole grid (including +Inf) the float-to-int conversion is
+	// implementation-defined, and the unclamped ring would walk cells
+	// that cannot exist anyway.
+	r := g.nx + g.ny
+	if d < float64(r)*g.cell {
+		r = int(d/g.cell) + 1
+	}
 	qcx, qcy := g.cellCoords(q)
 	for cy := qcy - r; cy <= qcy+r; cy++ {
 		if cy < 0 || cy >= g.ny {
@@ -135,6 +142,28 @@ func (g *Grid) Within(q geo.Point, d float64, fn func(id int, p geo.Point) bool)
 			}
 		}
 	}
+}
+
+// Neighbors returns the ids of all stored points within Euclidean
+// distance r of center (inclusive) — the bulk radius query behind the
+// greedy core's support-radius neighbor lists. The ids come back in
+// grid-cell order, not sorted; r = 0 matches only points at exactly
+// center, and r < 0 matches nothing (callers wanting "degenerate radius
+// means everything" must fall back to dense iteration themselves, as
+// core does).
+func (g *Grid) Neighbors(center geo.Point, r float64) []int {
+	return g.AppendWithin(nil, center, r)
+}
+
+// AppendWithin is Neighbors with caller-managed allocation: it appends
+// the ids within distance d of q to dst and returns the extended slice,
+// letting bulk builders reuse one buffer per worker.
+func (g *Grid) AppendWithin(dst []int, q geo.Point, d float64) []int {
+	g.Within(q, d, func(id int, _ geo.Point) bool {
+		dst = append(dst, id)
+		return true
+	})
+	return dst
 }
 
 // CollectWithin returns the ids of all stored points within distance d

@@ -25,5 +25,8 @@ func PairwiseSeparated(k int, dist func(i, j int) float64, theta float64, what s
 // PackingBound does nothing in release builds.
 func PackingBound(k int, dist func(i, j int) float64, theta float64, what string) {}
 
+// PrunedGain does nothing in release builds.
+func PrunedGain(pruned, dense float64, exact bool, epsBound float64, what string) {}
+
 // SortedByGainDesc does nothing in release builds.
 func SortedByGainDesc(ids []int, gains []float64, what string) {}

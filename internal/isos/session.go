@@ -40,6 +40,13 @@ type Config struct {
 	// every setting; with Parallelism != 1 the Metric must be safe for
 	// concurrent use (all built-in metrics are).
 	Parallelism int
+	// PruneEps is the support-radius pruning mode of core.Selector:
+	// 0 (default) admits exact-only pruning with bitwise-identical
+	// selections, a value in (0, 1) additionally admits eps-support
+	// metrics at a bounded additive score error. Prefetch bound rows
+	// always prune exactly, regardless of this knob, so the Lemma
+	// 5.1–5.3 domination contract is never eps-weakened.
+	PruneEps float64
 	// Filter optionally restricts the session to objects satisfying the
 	// predicate — the paper's "filtering condition" scenario (e.g. only
 	// objects whose text mentions "restaurant"). The representative
@@ -98,6 +105,9 @@ func NewSession(store *geodata.Store, cfg Config) (*Session, error) {
 	}
 	if cfg.Metric == nil {
 		return nil, fmt.Errorf("isos: Metric must not be nil")
+	}
+	if cfg.PruneEps < 0 || cfg.PruneEps >= 1 {
+		return nil, fmt.Errorf("isos: PruneEps = %v outside [0, 1)", cfg.PruneEps)
 	}
 	if cfg.MaxZoomOutScale == 0 {
 		cfg.MaxZoomOutScale = 2
@@ -308,6 +318,7 @@ func (s *Session) selectIn(region geo.Rect, d Derivation, unconstrained bool, bo
 		Metric:      s.cfg.Metric,
 		Agg:         s.cfg.Agg,
 		Parallelism: s.cfg.Parallelism,
+		PruneEps:    s.cfg.PruneEps,
 	}
 	forcedCount, candCount := 0, len(regionPos)
 	if !unconstrained {

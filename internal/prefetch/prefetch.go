@@ -19,8 +19,11 @@
 package prefetch
 
 import (
+	"sort"
+
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
+	"geosel/internal/grid"
 	"geosel/internal/invariant"
 	"geosel/internal/parallel"
 	"geosel/internal/sim"
@@ -44,14 +47,16 @@ func PairwiseBoundsWorkers(col *geodata.Collection, envelopePos []int, m sim.Met
 	objs := col.Objects
 	pool := parallel.New(workers)
 	defer pool.Close()
-	pool.Run(len(envelopePos), func(i int) {
-		var sum float64
-		op := &objs[envelopePos[i]]
-		for _, q := range envelopePos {
-			sum += objs[q].Weight * m.Sim(op, &objs[q])
-		}
-		sums[i] = sum
-	})
+	if !pairwiseBoundsPruned(objs, envelopePos, m, pool, sums) {
+		pool.Run(len(envelopePos), func(i int) {
+			var sum float64
+			op := &objs[envelopePos[i]]
+			for _, q := range envelopePos {
+				sum += objs[q].Weight * m.Sim(op, &objs[q])
+			}
+			sums[i] = sum
+		})
+	}
 	if invariant.Enabled {
 		assertEnvelopeBounds(objs, envelopePos, m, sums, "prefetch: pairwise envelope bound")
 	}
@@ -60,6 +65,58 @@ func PairwiseBoundsWorkers(col *geodata.Collection, envelopePos []int, m sim.Met
 		out[p] = sums[i]
 	}
 	return out
+}
+
+// pruneCutoff is the envelope size below which the pruned bound rows
+// are not worth a grid build; mirrors the greedy core's serial cutoff.
+const pruneCutoff = 512
+
+// pairwiseBoundsPruned computes the Lemma 5.1/5.2 rows over support
+// neighborhoods instead of the whole envelope when the metric certifies
+// an exact radius (eps truncation is never applied here: a truncated
+// envelope sum could fall below the exact in-region gain and break the
+// bound-domination contract of Lemmas 5.1–5.3). Each row's neighbor
+// list is sorted by envelope position, so the pruned sum adds the same
+// nonzero terms in the same order as the dense row — skipped terms are
+// exactly zero — and the bounds come out bitwise identical. Reports
+// whether it filled sums; false means the caller must run the dense
+// rows (unbounded metric or tiny envelope).
+func pairwiseBoundsPruned(objs []geodata.Object, envelopePos []int, m sim.Metric, pool *parallel.Pool, sums []float64) bool {
+	if len(envelopePos) < pruneCutoff {
+		return false
+	}
+	r, exact, ok := sim.SupportRadius(m, 0)
+	if !ok || !exact {
+		return false
+	}
+	bounds := geo.Rect{Min: objs[envelopePos[0]].Loc, Max: objs[envelopePos[0]].Loc}
+	for _, p := range envelopePos[1:] {
+		bounds = bounds.Union(geo.Rect{Min: objs[p].Loc, Max: objs[p].Loc})
+	}
+	if r >= bounds.Min.Dist(bounds.Max) {
+		return false // the radius spans the envelope: nothing to prune
+	}
+	g, err := grid.New(bounds, r)
+	if err != nil {
+		return false
+	}
+	// Keyed by index into envelopePos, so rows can be replayed in the
+	// dense iteration order.
+	for k, p := range envelopePos {
+		g.Insert(k, objs[p].Loc)
+	}
+	pool.Run(len(envelopePos), func(i int) {
+		op := &objs[envelopePos[i]]
+		ks := g.Neighbors(op.Loc, r)
+		sort.Ints(ks)
+		var sum float64
+		for _, k := range ks {
+			q := envelopePos[k]
+			sum += objs[q].Weight * m.Sim(op, &objs[q])
+		}
+		sums[i] = sum
+	})
+	return true
 }
 
 // assertEnvelopeBounds checks, under the geoselcheck tag, that every
@@ -121,14 +178,28 @@ func PanBoundsWorkers(store *geodata.Store, vp geo.Viewport, m sim.Metric, worke
 	objs := col.Objects
 	w := vp.Region.Width()
 	h := vp.Region.Height()
+	// An exact support radius shrinks each per-object window: objects
+	// beyond it contribute exactly zero to the Lemma 5.3 sum, so
+	// clipping ro to the radius square changes only which zero terms
+	// the R-tree hands back. The bound stays a valid upper bound (eps
+	// truncation is deliberately never applied to prefetch rows).
+	rw, rh := w, h
+	if r, exact, ok := sim.SupportRadius(m, 0); ok && exact {
+		if r < rw {
+			rw = r
+		}
+		if r < rh {
+			rh = r
+		}
+	}
 	sums := make([]float64, len(envPos))
 	pool := parallel.New(workers)
 	defer pool.Close()
 	pool.Run(len(envPos), func(i int) {
 		o := &objs[envPos[i]]
 		ro := geo.Rect{
-			Min: geo.Point{X: o.Loc.X - w, Y: o.Loc.Y - h},
-			Max: geo.Point{X: o.Loc.X + w, Y: o.Loc.Y + h},
+			Min: geo.Point{X: o.Loc.X - rw, Y: o.Loc.Y - rh},
+			Max: geo.Point{X: o.Loc.X + rw, Y: o.Loc.Y + rh},
 		}
 		window, ok := env.Intersect(ro)
 		if !ok {

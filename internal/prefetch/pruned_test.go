@@ -1,0 +1,67 @@
+package prefetch
+
+import (
+	"testing"
+
+	"geosel/internal/geo"
+	"geosel/internal/sim"
+)
+
+// TestPairwiseBoundsPrunedBitwise pins the support-radius pruned bound
+// rows to the dense ones: an exact radius drops only exactly-zero
+// terms, and the neighbor lists are replayed in envelope order, so
+// every Lemma 5.1/5.2 bound must come out bitwise identical. The dense
+// reference runs through a Func wrapper, which performs the same
+// arithmetic but never certifies a radius.
+func TestPairwiseBoundsPrunedBitwise(t *testing.T) {
+	store := testStore(t, 3000, 9)
+	col := store.Collection()
+	world, ok := store.Bounds()
+	if !ok {
+		t.Fatal("empty store")
+	}
+	envelopePos := store.Region(world)
+	if len(envelopePos) < pruneCutoff {
+		t.Fatalf("envelope of %d positions does not engage pruning", len(envelopePos))
+	}
+	m := sim.EuclideanProximity{MaxDist: 0.05}
+	for _, workers := range []int{1, 4} {
+		pruned := PairwiseBoundsWorkers(col, envelopePos, m, workers)
+		dense := PairwiseBoundsWorkers(col, envelopePos, sim.Func(m.Sim), workers)
+		if len(pruned) != len(dense) {
+			t.Fatalf("workers=%d: %d pruned vs %d dense bounds", workers, len(pruned), len(dense))
+		}
+		for p, v := range dense {
+			if pruned[p] != v {
+				t.Fatalf("workers=%d: bound for position %d not bitwise equal: pruned %v dense %v",
+					workers, p, pruned[p], v)
+			}
+		}
+	}
+}
+
+// TestPanBoundsPrunedStillDominate checks that radius-clipped pan
+// windows keep Lemma 5.3 intact: every bound still dominates the exact
+// initial gain of its object for a concrete panned region.
+func TestPanBoundsPrunedStillDominate(t *testing.T) {
+	store := testStore(t, 3000, 10)
+	col := store.Collection()
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.1)
+	vp := geo.NewViewport(geo.WorldUnit, region)
+	m := sim.EuclideanProximity{MaxDist: 0.03} // well under the region side
+	bounds := PanBoundsWorkers(store, vp, m, 2)
+	moved := region.Translate(geo.Pt(0.07, -0.05))
+	onPos := store.Region(moved)
+	if len(onPos) == 0 {
+		t.Fatal("panned region holds no objects")
+	}
+	for _, c := range onPos {
+		b, ok := bounds[c]
+		if !ok {
+			t.Fatalf("no pan bound for in-envelope object %d", c)
+		}
+		if exact := exactMarginal(col, onPos, nil, c, m); exact > b+1e-9*(1+exact) {
+			t.Fatalf("pan bound %v for object %d below exact gain %v", b, c, exact)
+		}
+	}
+}

@@ -102,6 +102,10 @@ type Config struct {
 	// Parallelism is forwarded to core.Selector.Parallelism for the
 	// greedy run on the sample (0 = all CPUs, 1 = serial).
 	Parallelism int
+	// PruneEps is forwarded to core.Selector.PruneEps: the
+	// support-radius pruning mode of the greedy run on the sample
+	// (0 = exact-only, bitwise-preserving).
+	PruneEps float64
 }
 
 // Result reports a SaSS run.
@@ -152,6 +156,7 @@ func Run(objs []geodata.Object, cfg Config) (*Result, error) {
 		Metric:      cfg.Metric,
 		Agg:         cfg.Agg,
 		Parallelism: cfg.Parallelism,
+		PruneEps:    cfg.PruneEps,
 	}
 	res, err := sel.Run()
 	if err != nil {

@@ -31,6 +31,10 @@ type Server struct {
 	// creates: 0 picks runtime.NumCPU(), 1 runs serial. Selections are
 	// identical for every setting.
 	parallelism int
+	// pruneEps is forwarded as the support-radius pruning mode: 0
+	// admits exact-only (bitwise-preserving) pruning, (0, 1) admits
+	// eps-pruning for eps-support metrics.
+	pruneEps float64
 
 	mu       sync.Mutex
 	sessions map[string]*isos.Session
@@ -57,6 +61,19 @@ func New(store *geodata.Store, metric sim.Metric) (*Server, error) {
 // 1 runs serial. Call it before serving requests; it is not
 // synchronized with request handling.
 func (s *Server) SetParallelism(n int) { s.parallelism = n }
+
+// SetPruneEps sets the support-radius pruning mode forwarded to every
+// selection and session the server creates (core.Selector.PruneEps):
+// 0 (the default) admits exact-only pruning, a value in (0, 1) admits
+// eps-pruning. Call it before serving requests; it is not synchronized
+// with request handling.
+func (s *Server) SetPruneEps(eps float64) error {
+	if eps < 0 || eps >= 1 {
+		return fmt.Errorf("server: PruneEps = %v outside [0, 1)", eps)
+	}
+	s.pruneEps = eps
+	return nil
+}
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -148,7 +165,8 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	regionPos := s.store.Region(region)
 	objs := s.store.Collection().Subset(regionPos)
 	theta := req.ThetaFrac * region.Width()
-	sel := &core.Selector{Objects: objs, K: req.K, Theta: theta, Metric: s.metric, Parallelism: s.parallelism}
+	sel := &core.Selector{Objects: objs, K: req.K, Theta: theta, Metric: s.metric,
+		Parallelism: s.parallelism, PruneEps: s.pruneEps}
 	res, err := sel.Run()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -183,6 +201,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		Metric:       s.metric,
 		TilesPerSide: req.TilesPerSide,
 		Parallelism:  s.parallelism,
+		PruneEps:     s.pruneEps,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())

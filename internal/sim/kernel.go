@@ -80,6 +80,40 @@ func CompileKernel(m Metric, objs []geodata.Object) (Kernel, bool) {
 	return func(i, j int) float64 { return m.Sim(&objs[i], &objs[j]) }, false
 }
 
+// PrunedKernel bundles a compiled kernel with the metric's support
+// radius, the contract behind the greedy core's neighbor-list pruning:
+// for any two objects farther apart than Radius, Kern is exactly zero
+// when Exact, and below the eps passed to CompilePruned otherwise.
+// Bounded reports whether a finite positive radius was certified at
+// all — when false, Radius is meaningless and callers must evaluate
+// densely.
+type PrunedKernel struct {
+	// Kern is the same kernel CompileKernel returns — pruning never
+	// changes which floating-point operations run per pair, only which
+	// pairs are visited.
+	Kern Kernel
+	// Compiled reports whether Kern was devirtualized (CompileKernel's
+	// second result).
+	Compiled bool
+	// Radius is the certified support radius; only valid when Bounded.
+	Radius float64
+	// Exact reports that Kern is exactly 0.0 beyond Radius, so pruned
+	// reductions reproduce dense ones bitwise.
+	Exact bool
+	// Bounded reports that Radius is finite and positive.
+	Bounded bool
+}
+
+// CompilePruned compiles m like CompileKernel and resolves its support
+// radius at the given eps (eps <= 0 requests an exact radius only, the
+// bitwise-preserving default). The kernel is identical to the unpruned
+// one; the radius is advisory metadata for neighbor-list construction.
+func CompilePruned(m Metric, objs []geodata.Object, eps float64) PrunedKernel {
+	kern, compiled := CompileKernel(m, objs)
+	r, exact, ok := SupportRadius(m, eps)
+	return PrunedKernel{Kern: kern, Compiled: compiled, Radius: r, Exact: exact, Bounded: ok}
+}
+
 func extractPoints(objs []geodata.Object) []geo.Point {
 	pts := make([]geo.Point, len(objs))
 	for i := range objs {

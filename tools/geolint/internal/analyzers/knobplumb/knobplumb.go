@@ -1,12 +1,14 @@
 // Package knobplumb verifies that every library-side construction of a
-// configuration struct carrying a Parallelism knob actually forwards the
+// configuration struct carrying a performance knob actually forwards the
 // knob. PR 1 plumbed Parallelism through core.Selector, isos.Config,
-// sampling.Config and geosel.Options; a wrapper that builds one of these
-// with keyed fields but silently omits Parallelism pins its callers to
-// the default and loses the serial/parallel trade-off (or, worse, the
-// determinism contract documentation attached to the knob). Deliberately
-// serial constructions — paper-methodology benchmarks, for example —
-// carry a "//geolint:serial" annotation.
+// sampling.Config and geosel.Options, and PR 3 added PruneEps alongside
+// it; a wrapper that builds one of these with keyed fields but silently
+// omits a knob pins its callers to the default and loses the trade-off
+// (or, worse, the determinism contract documentation attached to the
+// knob). Deliberate omissions carry a per-knob annotation:
+// "//geolint:serial" excuses a dropped Parallelism (paper-methodology
+// benchmarks, for example), "//geolint:exact" excuses a dropped PruneEps
+// (constructions that must stay on the exact-only default).
 package knobplumb
 
 import (
@@ -16,13 +18,20 @@ import (
 	"geosel/tools/geolint/internal/analysis"
 )
 
-// knob is the config field every wrapper must forward.
-const knob = "Parallelism"
+// knobs are the config fields every wrapper must forward, each with the
+// directive that excuses a deliberate omission.
+var knobs = []struct {
+	name      string
+	directive string
+}{
+	{"Parallelism", "serial"},
+	{"PruneEps", "exact"},
+}
 
 // Analyzer is the knobplumb check.
 var Analyzer = &analysis.Analyzer{
 	Name: "knobplumb",
-	Doc:  "flags keyed composite literals of Parallelism-bearing config structs that drop the Parallelism knob (library packages only)",
+	Doc:  "flags keyed composite literals of knob-bearing config structs that drop the Parallelism or PruneEps knob (library packages only)",
 	Run:  run,
 }
 
@@ -54,23 +63,29 @@ func check(pass *analysis.Pass, lit *ast.CompositeLit) {
 		return
 	}
 	st, ok := tv.Type.Underlying().(*types.Struct)
-	if !ok || !hasField(st, knob) {
+	if !ok {
 		return
 	}
+	set := make(map[string]bool, len(lit.Elts))
 	for _, elt := range lit.Elts {
 		kv, ok := elt.(*ast.KeyValueExpr)
 		if !ok {
 			return // positional literal: every field is present by construction
 		}
-		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == knob {
-			return
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			set[key.Name] = true
 		}
 	}
-	if pass.Suppressed(lit.Pos(), "serial") {
-		return
+	for _, k := range knobs {
+		if !hasField(st, k.name) || set[k.name] {
+			continue
+		}
+		if pass.Suppressed(lit.Pos(), k.directive) {
+			continue
+		}
+		pass.Reportf(lit.Pos(), "composite literal of %s sets %d field(s) but drops the %s knob; forward it or annotate the literal with //geolint:%s",
+			tv.Type, len(lit.Elts), k.name, k.directive)
 	}
-	pass.Reportf(lit.Pos(), "composite literal of %s sets %d field(s) but drops the %s knob; forward it or annotate the literal with //geolint:serial",
-		tv.Type, len(lit.Elts), knob)
 }
 
 func hasField(st *types.Struct, name string) bool {

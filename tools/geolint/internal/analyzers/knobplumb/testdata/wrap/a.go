@@ -1,12 +1,20 @@
-// Package wrap seeds a dropped-Parallelism-knob violation for the
-// knobplumb analyzer, alongside compliant constructions.
+// Package wrap seeds dropped-knob violations for the knobplumb
+// analyzer, alongside compliant constructions.
 package wrap
 
-// Selector mimics a Parallelism-bearing config struct (core.Selector,
-// isos.Config, ...).
+// Selector mimics a knob-bearing config struct (core.Selector,
+// isos.Config, ...) carrying both performance knobs.
 type Selector struct {
 	K           int
 	Theta       float64
+	Parallelism int
+	PruneEps    float64
+}
+
+// Sampler carries only the Parallelism knob; PruneEps is never its
+// business.
+type Sampler struct {
+	K           int
 	Parallelism int
 }
 
@@ -16,14 +24,32 @@ type Plain struct {
 }
 
 // dropped is the seeded violation: a keyed literal that configures the
-// selector but silently pins the default parallelism.
+// selector but silently pins the defaults of both knobs. One diagnostic
+// per missing knob.
 func dropped() *Selector {
-	return &Selector{K: 10, Theta: 0.5} // want `drops the Parallelism knob`
+	return &Selector{K: 10, Theta: 0.5} // want `drops the Parallelism knob` `drops the PruneEps knob`
 }
 
-// forwarded plumbs the knob through; silent.
-func forwarded(p int) *Selector {
-	return &Selector{K: 10, Theta: 0.5, Parallelism: p}
+// droppedPrune forwards Parallelism but silently pins the exact-only
+// pruning default.
+func droppedPrune(p int) *Selector {
+	return &Selector{K: 10, Parallelism: p} // want `drops the PruneEps knob`
+}
+
+// droppedPar forwards PruneEps but silently pins the default
+// parallelism.
+func droppedPar(eps float64) *Selector {
+	return &Selector{K: 10, PruneEps: eps} // want `drops the Parallelism knob`
+}
+
+// samplerDropped only owes the knob it has.
+func samplerDropped() *Sampler {
+	return &Sampler{K: 10} // want `drops the Parallelism knob`
+}
+
+// forwarded plumbs both knobs through; silent.
+func forwarded(p int, eps float64) *Selector {
+	return &Selector{K: 10, Theta: 0.5, Parallelism: p, PruneEps: eps}
 }
 
 // zeroValue is an explicit all-defaults literal; silent.
@@ -33,13 +59,27 @@ func zeroValue() Selector {
 
 // positional literals state every field by construction; silent.
 func positional() Selector {
-	return Selector{10, 0.5, 2}
+	return Selector{10, 0.5, 2, 0}
 }
 
-// deliberatelySerial documents the paper-methodology case; silent.
+// deliberatelySerial documents the paper-methodology case: both knobs
+// are excused by the comma-joined directives; silent.
 func deliberatelySerial() *Selector {
-	//geolint:serial
+	//geolint:serial,exact
 	return &Selector{K: 10, Theta: 0.5}
+}
+
+// exactOnly excuses the pruning knob but still owes Parallelism.
+func exactOnly(p int) *Selector {
+	//geolint:exact
+	return &Selector{K: 10, Parallelism: p}
+}
+
+// halfExcused excuses only one of two missing knobs; the other is still
+// reported.
+func halfExcused() *Selector {
+	//geolint:serial
+	return &Selector{K: 10, Theta: 0.5} // want `drops the PruneEps knob`
 }
 
 // noKnobType literals are ignored; silent.
