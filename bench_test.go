@@ -7,8 +7,10 @@ package geosel
 // gives a one-screen performance picture.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"geosel/internal/engine"
 	"math/rand"
 	"os"
 	"runtime"
@@ -96,8 +98,8 @@ func BenchmarkFig7Greedy(b *testing.B) {
 	e := env(b)
 	b.ReportMetric(float64(len(e.objs)), "region-objs")
 	for i := 0; i < b.N; i++ {
-		s := &core.Selector{Objects: e.objs, K: 100, Theta: e.theta, Metric: e.metric}
-		if _, err := s.Run(); err != nil {
+		s := &core.Selector{Config: engine.Config{K: 100, Theta: e.theta, Metric: e.metric}, Objects: e.objs}
+		if _, err := s.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,10 +143,7 @@ func BenchmarkFig9SaSS(b *testing.B) {
 	e := env(b)
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < b.N; i++ {
-		_, err := sampling.Run(e.objs, sampling.Config{
-			K: 100, Theta: e.theta, Metric: e.metric,
-			Eps: 0.05, Delta: 0.1, Rng: rng,
-		})
+		_, err := sampling.Run(context.Background(), e.objs, sampling.Config{Config: engine.Config{K: 100, Theta: e.theta, Metric: e.metric}, Eps: 0.05, Delta: 0.1, Rng: rng})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,8 +165,8 @@ func BenchmarkFig11RegionSizes(b *testing.B) {
 			theta := 0.003 * region.Width()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s := &core.Selector{Objects: objs, K: 100, Theta: theta, Metric: e.metric}
-				if _, err := s.Run(); err != nil {
+				s := &core.Selector{Config: engine.Config{K: 100, Theta: theta, Metric: e.metric}, Objects: objs}
+				if _, err := s.Run(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -212,7 +211,7 @@ func BenchmarkFig13Navigation(b *testing.B) {
 // response-path nanoseconds (the selection for the new region).
 func benchNavigate(b *testing.B, e *benchEnv, mode, opName string) int64 {
 	b.Helper()
-	cfg := isos.Config{K: 100, ThetaFrac: 0.003, Metric: e.metric, MaxZoomOutScale: 2}
+	cfg := isos.Config{Config: engine.Config{K: 100, ThetaFrac: 0.003, Metric: e.metric, MaxZoomOutScale: 2}}
 	if mode == "Pre" {
 		cfg.TilesPerSide = 16
 	}
@@ -227,9 +226,9 @@ func benchNavigate(b *testing.B, e *benchEnv, mode, opName string) int64 {
 	}
 	if mode == "Reselect" {
 		objs := e.store.Collection().Subset(e.store.Region(target))
-		s := &core.Selector{Objects: objs, K: 100, Theta: 0.003 * target.Width(), Metric: e.metric}
+		s := &core.Selector{Config: engine.Config{K: 100, Theta: 0.003 * target.Width(), Metric: e.metric}, Objects: objs}
 		d := timeNow()
-		if _, err := s.Run(); err != nil {
+		if _, err := s.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		return timeNow() - d
@@ -238,7 +237,7 @@ func benchNavigate(b *testing.B, e *benchEnv, mode, opName string) int64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := sess.Start(e.region); err != nil {
+	if _, err := sess.Start(context.Background(), e.region); err != nil {
 		b.Fatal(err)
 	}
 	if mode == "Pre" {
@@ -251,18 +250,18 @@ func benchNavigate(b *testing.B, e *benchEnv, mode, opName string) int64 {
 		default:
 			op = geo.OpPan
 		}
-		if err := sess.Prefetch(op); err != nil {
+		if err := sess.Prefetch(context.Background(), op); err != nil {
 			b.Fatal(err)
 		}
 	}
 	var sel *isos.Selection
 	switch opName {
 	case "in":
-		sel, err = sess.ZoomIn(target)
+		sel, err = sess.ZoomIn(context.Background(), target)
 	case "out":
-		sel, err = sess.ZoomOut(target)
+		sel, err = sess.ZoomOut(context.Background(), target)
 	default:
-		sel, err = sess.Pan(geo.Pt(e.region.Width()/2, 0))
+		sel, err = sess.Pan(context.Background(), geo.Pt(e.region.Width()/2, 0))
 	}
 	if err != nil {
 		b.Fatal(err)
@@ -282,16 +281,16 @@ func BenchmarkAblationLazyVsNaive(b *testing.B) {
 	}
 	b.Run("lazy", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s := &core.Selector{Objects: objs, K: 50, Theta: e.theta, Metric: e.metric}
-			if _, err := s.Run(); err != nil {
+			s := &core.Selector{Config: engine.Config{K: 50, Theta: e.theta, Metric: e.metric}, Objects: objs}
+			if _, err := s.Run(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			s := &core.Selector{Objects: objs, K: 50, Theta: e.theta, Metric: e.metric, DisableLazy: true}
-			if _, err := s.Run(); err != nil {
+			s := &core.Selector{Config: engine.Config{K: 50, Theta: e.theta, Metric: e.metric, DisableLazy: true}, Objects: objs}
+			if _, err := s.Run(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -309,9 +308,8 @@ func BenchmarkAblationConflictRemoval(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				s := &core.Selector{Objects: e.objs, K: 100, Theta: e.theta,
-					Metric: e.metric, DisableGrid: disable}
-				if _, err := s.Run(); err != nil {
+				s := &core.Selector{Config: engine.Config{K: 100, Theta: e.theta, Metric: e.metric, DisableGrid: disable}, Objects: e.objs}
+				if _, err := s.Run(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -350,10 +348,7 @@ func BenchmarkAblationSampleBound(b *testing.B) {
 		b.Run(bound.String(), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(8))
 			for i := 0; i < b.N; i++ {
-				_, err := sampling.Run(e.objs, sampling.Config{
-					K: 100, Theta: e.theta, Metric: e.metric,
-					Eps: 0.05, Delta: 0.1, Bound: bound, Rng: rng,
-				})
+				_, err := sampling.Run(context.Background(), e.objs, sampling.Config{Config: engine.Config{K: 100, Theta: e.theta, Metric: e.metric}, Eps: 0.05, Delta: 0.1, Bound: bound, Rng: rng})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -422,11 +417,8 @@ func parallelBenchInstance() (objs []geodata.Object, cands []int, k int, theta f
 }
 
 func runParallelBench(objs []geodata.Object, cands []int, k int, theta float64, workers int) (*core.Result, error) {
-	s := &core.Selector{
-		Objects: objs, K: k, Theta: theta, Metric: sim.Cosine{},
-		Candidates: cands, Parallelism: workers,
-	}
-	return s.Run()
+	s := &core.Selector{Config: engine.Config{K: k, Theta: theta, Metric: sim.Cosine{}, Parallelism: workers}, Objects: objs, Candidates: cands}
+	return s.Run(context.Background())
 }
 
 // BenchmarkParallelEngine times the same large selection with the

@@ -8,6 +8,7 @@
 //	benchrunner -exp fig7
 //	benchrunner -exp all -uk 100000 -us 400000 -poi 30000 -queries 3
 //	benchrunner -suite pruned-vs-dense
+//	benchrunner -suite prefetch-overlap
 package main
 
 import (
@@ -23,8 +24,8 @@ func main() {
 	var (
 		exp     = flag.String("exp", "", "exhibit id (table3, table4, fig7..fig14, fig18..fig23) or 'all'")
 		list    = flag.Bool("list", false, "list exhibit ids and exit")
-		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense (writes BENCH_pruned.json)")
-		out     = flag.String("out", "BENCH_pruned.json", "output path for -suite")
+		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense or prefetch-overlap (writes BENCH_*.json)")
+		out     = flag.String("out", "", "output path for -suite (default BENCH_<suite>.json)")
 		ukSize  = flag.Int("uk", 0, "UK-like dataset size (0 = default)")
 		usSize  = flag.Int("us", 0, "US-like dataset size (0 = default)")
 		poiSize = flag.Int("poi", 0, "POI-like dataset size (0 = default)")
@@ -35,12 +36,23 @@ func main() {
 	flag.Parse()
 
 	if *suite != "" {
-		if *suite != "pruned-vs-dense" {
+		var runner func(string, int64) error
+		var dflt string
+		switch *suite {
+		case "pruned-vs-dense":
+			runner, dflt = runPrunedSuite, "BENCH_pruned.json"
+		case "prefetch-overlap":
+			runner, dflt = runOverlapSuite, "BENCH_prefetch_overlap.json"
+		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown suite %q\n", *suite)
 			os.Exit(2)
 		}
-		if err := runPrunedSuite(*out, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "benchrunner: pruned-vs-dense:", err)
+		path := *out
+		if path == "" {
+			path = dflt
+		}
+		if err := runner(path, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", *suite, err)
 			os.Exit(1)
 		}
 		return

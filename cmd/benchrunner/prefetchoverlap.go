@@ -1,0 +1,237 @@
+package main
+
+// The prefetch-overlap suite: one scripted zoom/pan exploration trace
+// run three ways — no prefetch at all, synchronous prefetch on the
+// session thread, and background prefetch (engine.Config.AsyncPrefetch)
+// overlapped with simulated user think time — with the user-perceived
+// navigation latency of each step recorded. Written as
+// BENCH_prefetch_overlap.json. Selections are identical across modes
+// (prefetched bounds only seed the lazy heap; see internal/isos); the
+// suite fails if any mode diverges from the no-prefetch baseline.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"geosel/internal/dataset"
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/isos"
+	"geosel/internal/sim"
+)
+
+// overlapMode is one row of BENCH_prefetch_overlap.json: the scripted
+// trace under one prefetch strategy.
+type overlapMode struct {
+	Mode string `json:"mode"`
+	// Latency of a step is what the user waits for: the navigation call
+	// alone in "none" and "async", navigation plus the blocking bound
+	// computation in "sync".
+	MeanNs int64 `json:"mean_ns_step"`
+	P95Ns  int64 `json:"p95_ns_step"`
+	MaxNs  int64 `json:"max_ns_step"`
+	// TotalNs sums the per-step latencies (think time excluded).
+	TotalNs int64 `json:"total_ns"`
+	Steps   int   `json:"steps"`
+	// PrefetchHits counts steps whose selection was seeded by prefetched
+	// bounds; for "async" this depends on the think time racing the
+	// bound computation.
+	PrefetchHits int     `json:"prefetch_hits"`
+	HitRate      float64 `json:"hit_rate"`
+	// Evals totals the marginal evaluations across the trace; prefetch
+	// hits shrink it, never grow it.
+	Evals int `json:"evals"`
+}
+
+// overlapReport is the BENCH_prefetch_overlap.json schema.
+type overlapReport struct {
+	Cores        int           `json:"cores"`
+	N            int           `json:"n"`
+	K            int           `json:"k"`
+	ThetaFrac    float64       `json:"theta_frac"`
+	TilesPerSide int           `json:"tiles_per_side"`
+	ThinkMs      int64         `json:"think_ms"`
+	Trace        []string      `json:"trace"`
+	Modes        []overlapMode `json:"modes"`
+	Note         string        `json:"note"`
+}
+
+// overlapStep is one scripted user action, derived from the current
+// viewport at execution time so the trace composes.
+type overlapStep struct {
+	op geo.Op
+	// scale is applied around the region center for zooms; delta is the
+	// pan offset as a fraction of the region width.
+	scale float64
+	delta geo.Point
+}
+
+// overlapTrace is the scripted exploration: drill into the dense
+// center, wander, back out, drill elsewhere — every operation kind is
+// exercised several times.
+var overlapTrace = []overlapStep{
+	{op: geo.OpZoomIn, scale: 0.6},
+	{op: geo.OpPan, delta: geo.Pt(0.25, 0)},
+	{op: geo.OpZoomIn, scale: 0.6},
+	{op: geo.OpPan, delta: geo.Pt(0, 0.25)},
+	{op: geo.OpZoomOut, scale: 1.5},
+	{op: geo.OpPan, delta: geo.Pt(-0.25, 0)},
+	{op: geo.OpZoomIn, scale: 0.6},
+	{op: geo.OpPan, delta: geo.Pt(0, -0.25)},
+	{op: geo.OpZoomOut, scale: 1.5},
+	{op: geo.OpZoomIn, scale: 0.6},
+	{op: geo.OpPan, delta: geo.Pt(0.25, 0.25)},
+	{op: geo.OpZoomOut, scale: 1.5},
+}
+
+// runOverlapSuite measures the scripted trace under the three prefetch
+// strategies and writes the report to out.
+func runOverlapSuite(out string, seed int64) error {
+	const (
+		n       = 4000
+		k       = 30
+		tiles   = 4
+		thinkMs = 400
+	)
+	thetaFrac := 0.003
+
+	store, err := dataset.GenerateStore(dataset.UKSpec(n, seed))
+	if err != nil {
+		return err
+	}
+
+	base := engine.Config{
+		K: k, ThetaFrac: thetaFrac, Metric: sim.Cosine{}, TilesPerSide: tiles,
+	}
+	startRegion := geo.RectAround(geo.Pt(0.5, 0.5), 0.3)
+	think := time.Duration(thinkMs) * time.Millisecond
+
+	type traceResult struct {
+		mode      overlapMode
+		positions [][]int
+	}
+
+	runTrace := func(mode string) (traceResult, error) {
+		cfg := isos.Config{Config: base}
+		cfg.AsyncPrefetch = mode == "async"
+		s, err := isos.NewSession(store, cfg)
+		if err != nil {
+			return traceResult{}, err
+		}
+		defer s.Close()
+		ctx := context.Background()
+		if _, err := s.Start(ctx, startRegion); err != nil {
+			return traceResult{}, err
+		}
+
+		res := traceResult{mode: overlapMode{Mode: mode, Steps: len(overlapTrace)}}
+		var latencies []int64
+		for _, st := range overlapTrace {
+			// Think time first: the user inspects the current viewport.
+			// In async mode the background goroutine races this window.
+			time.Sleep(think)
+			region := s.Viewport().Region
+
+			start := time.Now()
+			if mode == "sync" {
+				// Blocking bound computation on the session thread; the
+				// user waits for it on top of the navigation proper.
+				if err := s.Prefetch(ctx, st.op); err != nil {
+					return traceResult{}, err
+				}
+			}
+			var sel *isos.Selection
+			switch st.op {
+			case geo.OpZoomIn:
+				sel, err = s.ZoomIn(ctx, region.ScaleAroundCenter(st.scale))
+			case geo.OpZoomOut:
+				sel, err = s.ZoomOut(ctx, region.ScaleAroundCenter(st.scale))
+			case geo.OpPan:
+				d := geo.Pt(st.delta.X*region.Width(), st.delta.Y*region.Height())
+				sel, err = s.Pan(ctx, d)
+			}
+			lat := time.Since(start).Nanoseconds()
+			if err != nil {
+				return traceResult{}, fmt.Errorf("%s %v: %w", mode, st.op, err)
+			}
+
+			latencies = append(latencies, lat)
+			res.mode.TotalNs += lat
+			res.mode.Evals += sel.Evals
+			if sel.Prefetched {
+				res.mode.PrefetchHits++
+			}
+			res.positions = append(res.positions, append([]int(nil), sel.Positions...))
+		}
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.mode.MeanNs = res.mode.TotalNs / int64(len(latencies))
+		res.mode.P95Ns = latencies[(len(latencies)*95)/100]
+		res.mode.MaxNs = latencies[len(latencies)-1]
+		res.mode.HitRate = float64(res.mode.PrefetchHits) / float64(len(latencies))
+		return res, nil
+	}
+
+	report := overlapReport{
+		Cores: runtime.NumCPU(), N: n, K: k, ThetaFrac: thetaFrac,
+		TilesPerSide: tiles, ThinkMs: thinkMs,
+		Note: "scripted zoom/pan trace on a clustered UK-like dataset; latency is the user-visible wait per step " +
+			"(sync pays the bound computation on the session thread, async overlaps it with think time)",
+	}
+	for _, st := range overlapTrace {
+		report.Trace = append(report.Trace, st.op.String())
+	}
+
+	var baseline traceResult
+	for i, mode := range []string{"none", "sync", "async"} {
+		res, err := runTrace(mode)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			baseline = res
+		} else if err := samePositions(baseline.positions, res.positions); err != nil {
+			return fmt.Errorf("%s: selection diverged from no-prefetch baseline: %w", mode, err)
+		}
+		report.Modes = append(report.Modes, res.mode)
+		fmt.Fprintf(os.Stderr, "[%s: mean %v, p95 %v, hits %d/%d, evals %d]\n", mode,
+			time.Duration(res.mode.MeanNs).Round(time.Microsecond),
+			time.Duration(res.mode.P95Ns).Round(time.Microsecond),
+			res.mode.PrefetchHits, res.mode.Steps, res.mode.Evals)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
+	return nil
+}
+
+// samePositions checks the cross-mode determinism contract step by
+// step: prefetching may only change Evals and Prefetched, never the
+// selected objects or their order.
+func samePositions(want, got [][]int) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("step count %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			return fmt.Errorf("step %d: %d vs %d objects", i, len(want[i]), len(got[i]))
+		}
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				return fmt.Errorf("step %d: position %d differs (%d vs %d)", i, j, want[i][j], got[i][j])
+			}
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ package main
 // unless the pruned selection is identical to the dense one.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -16,6 +17,7 @@ import (
 
 	"geosel/internal/core"
 	"geosel/internal/dataset"
+	"geosel/internal/engine"
 	"geosel/internal/sim"
 )
 
@@ -80,11 +82,11 @@ func runPrunedSuite(out string, seed int64) error {
 		var res *core.Result
 		for rep := 0; rep < reps; rep++ {
 			s := &core.Selector{
-				Objects: objs, K: k, Theta: theta, Metric: m,
-				Candidates: cands, PruneEps: pruneEps, DisablePrune: dense,
+				Config:  engine.Config{K: k, Theta: theta, Metric: m, PruneEps: pruneEps, DisablePrune: dense},
+				Objects: objs, Candidates: cands,
 			}
 			start := time.Now()
-			r, err := s.Run()
+			r, err := s.Run(context.Background())
 			if err != nil {
 				return nil, 0, err
 			}

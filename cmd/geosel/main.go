@@ -9,18 +9,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"geosel/internal/core"
 	"geosel/internal/dataset"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/sampling"
 	"geosel/internal/sim"
 	"geosel/internal/viz"
-	"math/rand"
 )
 
 func main() {
@@ -61,13 +63,16 @@ func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, th
 	theta := thetaFrac * side
 	metric := sim.Cosine{}
 
+	cfg := engine.Config{K: k, Theta: theta, Metric: metric,
+		Parallelism: parallelism, PruneEps: pruneEps}
+	ctx := context.Background()
+
 	var selected []int
 	var score float64
 	if sample {
-		res, err := sampling.Run(objs, sampling.Config{
-			K: k, Theta: theta, Metric: metric,
-			Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(seed)),
-			Parallelism: parallelism, PruneEps: pruneEps,
+		res, err := sampling.Run(ctx, objs, sampling.Config{
+			Config: cfg,
+			Eps:    0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(seed)),
 		})
 		if err != nil {
 			return err
@@ -76,9 +81,8 @@ func run(data, preset string, n int, seed int64, cx, cy, side float64, k int, th
 		score = core.Score(objs, selected, metric, core.AggMax)
 		fmt.Printf("sampled %d of %d region objects\n", res.SampleSize, len(objs))
 	} else {
-		sel := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: metric,
-			Parallelism: parallelism, PruneEps: pruneEps}
-		res, err := sel.Run()
+		sel := &core.Selector{Config: cfg, Objects: objs}
+		res, err := sel.Run(ctx)
 		if err != nil {
 			return err
 		}

@@ -19,29 +19,42 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"geosel/internal/dataset"
+	"geosel/internal/engine"
 	"geosel/internal/geodata"
 	"geosel/internal/server"
 	"geosel/internal/sim"
 )
 
+// shutdownGrace bounds how long a drain waits for in-flight selections
+// before the process exits anyway.
+const shutdownGrace = 30 * time.Second
+
 func main() {
 	var (
-		data     = flag.String("data", "", "dataset file (CSV, JSONL or binary snapshot); empty = generate a preset")
-		preset   = flag.String("preset", "poi", "preset when generating: uk, us or poi")
-		n        = flag.Int("n", 50000, "generated dataset size")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		addr     = flag.String("addr", ":8080", "listen address")
-		tfidf    = flag.Bool("tfidf", false, "apply TF-IDF reweighting to the term vectors")
-		par      = flag.Int("parallelism", 0, "selection worker goroutines: 0 = all CPUs, 1 = serial")
-		pruneEps = flag.Float64("prune-eps", 0, "support-radius pruning mode: 0 = exact-only (bitwise-identical), (0,1) = eps-pruning for eps-support metrics")
+		data        = flag.String("data", "", "dataset file (CSV, JSONL or binary snapshot); empty = generate a preset")
+		preset      = flag.String("preset", "poi", "preset when generating: uk, us or poi")
+		n           = flag.Int("n", 50000, "generated dataset size")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		tfidf       = flag.Bool("tfidf", false, "apply TF-IDF reweighting to the term vectors")
+		par         = flag.Int("parallelism", 0, "selection worker goroutines: 0 = all CPUs, 1 = serial")
+		pruneEps    = flag.Float64("prune-eps", 0, "support-radius pruning mode: 0 = exact-only (bitwise-identical), (0,1) = eps-pruning for eps-support metrics")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-request selection deadline (0 = none)")
+		sessionTTL  = flag.Duration("session-ttl", engine.DefaultSessionTTL, "evict sessions idle for this long (negative = never)")
+		maxSessions = flag.Int("max-sessions", engine.DefaultMaxSessions, "maximum live sessions; the idlest is evicted beyond this")
+		asyncPre    = flag.Bool("async-prefetch", true, "compute next-operation bounds on a background goroutine after each navigation")
 	)
 	flag.Parse()
 
@@ -56,12 +69,16 @@ func main() {
 	if err != nil {
 		log.Fatal("geoselserver: ", err)
 	}
-	srv, err := server.New(store, sim.Cosine{})
+	srv, err := server.New(store, engine.Config{
+		Metric:         sim.Cosine{},
+		Parallelism:    *par,
+		PruneEps:       *pruneEps,
+		AsyncPrefetch:  *asyncPre,
+		RequestTimeout: *reqTimeout,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+	})
 	if err != nil {
-		log.Fatal("geoselserver: ", err)
-	}
-	srv.SetParallelism(*par)
-	if err := srv.SetPruneEps(*pruneEps); err != nil {
 		log.Fatal("geoselserver: ", err)
 	}
 	log.Printf("serving %d objects on %s", store.Len(), *addr)
@@ -70,7 +87,28 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(httpServer.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops accepting
+	// and waits for in-flight selections (bounded by shutdownGrace —
+	// past it, request contexts are cancelled and handlers return 503),
+	// and Close cancels the sessions' background prefetch goroutines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal("geoselserver: ", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Print("geoselserver: shutdown: ", err)
+	}
+	srv.Close()
 }
 
 func load(data, preset string, n int, seed int64) (*geodata.Collection, error) {

@@ -1,6 +1,7 @@
 package geosel_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,10 +20,12 @@ func ExampleSelect() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := geosel.Select(store, geosel.RectAround(geosel.Pt(0.5, 0.5), 0.5), geosel.Options{
-		K:      2,
-		Theta:  0.1,
-		Metric: geosel.Cosine(),
+	res, err := geosel.Select(context.Background(), store, geosel.RectAround(geosel.Pt(0.5, 0.5), 0.5), geosel.Options{
+		Config: geosel.EngineConfig{
+			K:      2,
+			Theta:  0.1,
+			Metric: geosel.Cosine(),
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -62,18 +65,18 @@ func ExampleSession() {
 		log.Fatal(err)
 	}
 	sess, err := geosel.NewSession(store, geosel.SessionConfig{
-		K: 5, ThetaFrac: 0.01, Metric: geosel.Cosine(),
+		Config: geosel.EngineConfig{K: 5, ThetaFrac: 0.01, Metric: geosel.Cosine()},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	region := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.25)
-	start, err := sess.Start(region)
+	start, err := sess.Start(context.Background(), region)
 	if err != nil {
 		log.Fatal(err)
 	}
 	inner := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.12)
-	zoomed, err := sess.ZoomIn(inner)
+	zoomed, err := sess.ZoomIn(context.Background(), inner)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -46,10 +47,13 @@ func main() {
 	}
 	fmt.Printf("filtering on keyword %q (%d of %d objects)\n", keyword, best, col.Len())
 
+	ctx := context.Background()
 	sess, err := geosel.NewSession(store, geosel.SessionConfig{
-		K:         8,
-		ThetaFrac: 0.01,
-		Metric:    geosel.Cosine(),
+		Config: geosel.EngineConfig{
+			K:         8,
+			ThetaFrac: 0.01,
+			Metric:    geosel.Cosine(),
+		},
 		Filter: func(o *geosel.Object) bool {
 			return strings.Contains(o.Text, keyword)
 		},
@@ -57,9 +61,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 
 	region := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.35)
-	sel, err := sess.Start(region)
+	sel, err := sess.Start(ctx, region)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +84,7 @@ func main() {
 	}
 
 	// Navigate in, then use the back button.
-	sel, err = sess.ZoomIn(region.ScaleAroundCenter(0.5))
+	sel, err = sess.ZoomIn(ctx, region.ScaleAroundCenter(0.5))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,15 +23,19 @@ func main() {
 	}
 	col := store.Collection()
 
+	ctx := context.Background()
 	sess, err := geosel.NewSession(store, geosel.SessionConfig{
-		K:            12,
-		ThetaFrac:    0.02,
-		Metric:       geosel.Cosine(),
-		TilesPerSide: 16, // tiled prefetch bounds
+		Config: geosel.EngineConfig{
+			K:            12,
+			ThetaFrac:    0.02,
+			Metric:       geosel.Cosine(),
+			TilesPerSide: 16, // tiled prefetch bounds
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 
 	show := func(step string, sel *geosel.Selection) {
 		vp := sess.Viewport()
@@ -42,15 +47,16 @@ func main() {
 
 	// 1. Open the map on the city center.
 	region := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.15)
-	sel, err := sess.Start(region)
+	sel, err := sess.Start(ctx, region)
 	if err != nil {
 		log.Fatal(err)
 	}
 	show("start", sel)
 
 	// 2. While the user looks around, prefetch bounds for whatever they
-	//    do next.
-	if err := sess.Prefetch(); err != nil {
+	//    do next. (Setting EngineConfig.AsyncPrefetch instead makes the
+	//    session do this on a background goroutine automatically.)
+	if err := sess.Prefetch(ctx); err != nil {
 		log.Fatal(err)
 	}
 
@@ -58,7 +64,7 @@ func main() {
 	//    remain (zooming consistency).
 	before := sess.Visible()
 	inner := geosel.RectAround(geosel.Pt(0.55, 0.55), 0.075)
-	sel, err = sess.ZoomIn(inner)
+	sel, err = sess.ZoomIn(ctx, inner)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,21 +85,21 @@ func main() {
 	fmt.Printf("   consistency: %d previously visible pins kept\n\n", kept)
 
 	// 4. Pan east; pins in the overlap stay put (panning consistency).
-	if err := sess.Prefetch(); err != nil {
+	if err := sess.Prefetch(ctx); err != nil {
 		log.Fatal(err)
 	}
-	sel, err = sess.Pan(geosel.Pt(0.05, 0))
+	sel, err = sess.Pan(ctx, geosel.Pt(0.05, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
 	show("pan east", sel)
 
 	// 5. Zoom back out.
-	if err := sess.Prefetch(); err != nil {
+	if err := sess.Prefetch(ctx); err != nil {
 		log.Fatal(err)
 	}
 	outer := sess.Viewport().Region.ScaleAroundCenter(2)
-	sel, err = sess.ZoomOut(outer)
+	sel, err = sess.ZoomOut(ctx, outer)
 	if err != nil {
 		log.Fatal(err)
 	}

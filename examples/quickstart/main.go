@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,10 +44,8 @@ func main() {
 	// Select 4 representatives for the whole map; no two may be closer
 	// than 0.05 so the pins stay readable.
 	region := geosel.RectAround(geosel.Pt(0.5, 0.5), 0.5)
-	res, err := geosel.Select(store, region, geosel.Options{
-		K:      4,
-		Theta:  0.05,
-		Metric: geosel.Cosine(),
+	res, err := geosel.Select(context.Background(), store, region, geosel.Options{
+		Config: geosel.EngineConfig{K: 4, Theta: 0.05, Metric: geosel.Cosine()},
 	})
 	if err != nil {
 		log.Fatal(err)

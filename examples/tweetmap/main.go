@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -48,9 +49,10 @@ func main() {
 	fmt.Println(viz.ASCIIHeatmap(store.Collection().Objects, region, 64, 14))
 
 	// Exact greedy...
+	ctx := context.Background()
 	start := time.Now()
-	exact, err := geosel.Select(store, region, geosel.Options{
-		K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine(),
+	exact, err := geosel.Select(ctx, store, region, geosel.Options{
+		Config: geosel.EngineConfig{K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine()},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -59,8 +61,8 @@ func main() {
 
 	// ...versus SaSS on a sample.
 	start = time.Now()
-	sampled, err := geosel.Select(store, region, geosel.Options{
-		K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine(),
+	sampled, err := geosel.Select(ctx, store, region, geosel.Options{
+		Config: geosel.EngineConfig{K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine()},
 		Sample: true, Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(11)),
 	})
 	if err != nil {

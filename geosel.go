@@ -13,24 +13,34 @@
 //	store, _ := geosel.NewStore(col)
 //
 //	// One-shot selection for a map region (the sos problem):
-//	res, _ := geosel.Select(store, region, geosel.Options{
-//		K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine(),
+//	res, _ := geosel.Select(ctx, store, region, geosel.Options{
+//		Config: geosel.EngineConfig{K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine()},
 //	})
 //
 //	// Interactive exploration (the isos problem):
 //	sess, _ := geosel.NewSession(store, geosel.SessionConfig{
-//		K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine(),
+//		Config: geosel.EngineConfig{K: 100, ThetaFrac: 0.003, Metric: geosel.Cosine()},
 //	})
-//	sess.Start(region)
-//	sess.Prefetch()          // while the user inspects the view
-//	sess.ZoomIn(subRegion)   // consistency-aware, prefetch-accelerated
+//	defer sess.Close()
+//	sess.Start(ctx, region)
+//	sess.Prefetch(ctx)            // while the user inspects the view
+//	sess.ZoomIn(ctx, subRegion)   // consistency-aware, prefetch-accelerated
+//
+// All engine knobs (K, θ, metric, parallelism, pruning, prefetch
+// behavior, serving limits) live in one EngineConfig struct, embedded
+// by Options and SessionConfig and validated in one place. Every entry
+// point takes a context.Context: cancel it (or let a deadline expire)
+// and the selection stops cooperatively within one evaluation chunk,
+// returning ctx.Err().
 package geosel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"geosel/internal/core"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
@@ -62,6 +72,14 @@ type (
 
 // Metric scores the similarity of two objects in [0, 1].
 type Metric = sim.Metric
+
+// EngineConfig is the unified configuration of the selection engine:
+// selection shape (K, Theta/ThetaFrac, Metric), execution knobs
+// (Parallelism, PruneEps, DisableLazy/DisableGrid), interactive-session
+// tuning (MaxZoomOutScale, TilesPerSide, AsyncPrefetch) and serving
+// limits (RequestTimeout, SessionTTL, MaxSessions). See engine.Config
+// for per-field documentation.
+type EngineConfig = engine.Config
 
 // SessionConfig configures an interactive session; see isos.Config.
 type SessionConfig = isos.Config
@@ -102,18 +120,15 @@ func Hybrid(alpha, maxDist float64) (Metric, error) { return sim.NewHybrid(alpha
 // MetricFunc adapts a function to the Metric interface.
 func MetricFunc(f func(a, b *Object) float64) Metric { return sim.Func(f) }
 
-// Options parameterizes a one-shot Select.
+// Options parameterizes a one-shot Select: the embedded EngineConfig
+// carries the selection shape and execution knobs (K, Theta/ThetaFrac,
+// Metric, MinGain, Parallelism, PruneEps, ...); the remaining fields
+// are Select-specific.
+//
+// In Select, ThetaFrac is interpreted against the longest side of the
+// queried region, and Theta overrides it when positive.
 type Options struct {
-	// K is the number of objects to select.
-	K int
-	// ThetaFrac is the visibility threshold as a fraction of the region
-	// side (use Theta for an absolute threshold instead).
-	ThetaFrac float64
-	// Theta is the absolute visibility threshold; it overrides
-	// ThetaFrac when positive.
-	Theta float64
-	// Metric is the similarity function (required).
-	Metric Metric
+	engine.Config
 	// Sample, when true, runs the SaSS sampling extension with the
 	// given Eps/Delta (defaults 0.05/0.1), which is the practical
 	// choice for very dense regions.
@@ -125,27 +140,6 @@ type Options struct {
 	// satisfying the predicate — e.g. only objects mentioning a
 	// keyword. Nil admits all.
 	Filter func(*Object) bool
-	// MinGain, when positive, stops selecting once the best remaining
-	// marginal gain falls below it: fewer pins on regions where extra
-	// pins stop adding representativeness.
-	MinGain float64
-	// Parallelism is the number of worker goroutines evaluating
-	// marginal gains inside the greedy core: 0 (the default) uses
-	// runtime.NumCPU(), 1 runs fully serial. Every setting returns the
-	// identical selection and score; the knob trades wall-clock time
-	// only. With Parallelism != 1 the Metric must be safe for
-	// concurrent use — all metrics constructed by this package are.
-	Parallelism int
-	// PruneEps is the support-radius pruning mode of the greedy core.
-	// The default 0 admits exact pruning only: distance-decaying
-	// metrics with a hard cutoff (EuclideanProximity) evaluate gains
-	// over grid neighbor lists instead of every region object, with
-	// bitwise-identical results guaranteed. A value in (0, 1)
-	// additionally admits metrics with an eps-support radius
-	// (GaussianProximity), trading an additive score error of at most
-	// PruneEps·Σω/|O| for the same speedup. Metrics without bounded
-	// support (Cosine) always evaluate densely.
-	PruneEps float64
 }
 
 // Result is the outcome of a one-shot selection.
@@ -167,7 +161,10 @@ type Result struct {
 // pick opts.K objects, every pair at distance >= θ, maximizing the
 // representative score. It is the 1/8-approximation greedy of the
 // paper, optionally on a theoretically grounded sample (SaSS).
-func Select(store *Store, region Rect, opts Options) (*Result, error) {
+//
+// ctx cancels the selection cooperatively (within one evaluation
+// chunk); a nil ctx behaves like context.Background().
+func Select(ctx context.Context, store *Store, region Rect, opts Options) (*Result, error) {
 	if store == nil {
 		return nil, fmt.Errorf("geosel: nil store")
 	}
@@ -186,14 +183,15 @@ func Select(store *Store, region Rect, opts Options) (*Result, error) {
 		regionPos = kept
 	}
 	objs := store.Collection().Subset(regionPos)
-	theta := opts.Theta
-	if theta <= 0 {
+	cfg := opts.Config
+	if cfg.Theta <= 0 {
 		side := region.Width()
 		if h := region.Height(); h > side {
 			side = h
 		}
-		theta = opts.ThetaFrac * side
+		cfg.Theta = cfg.ThetaFrac * side
 	}
+	cfg.ThetaFrac = 0 // resolved into Theta above
 	out := &Result{RegionObjects: len(regionPos), SampleSize: len(regionPos)}
 
 	if opts.Sample {
@@ -208,10 +206,8 @@ func Select(store *Store, region Rect, opts Options) (*Result, error) {
 		if rng == nil {
 			rng = rand.New(rand.NewSource(1))
 		}
-		sres, err := sampling.Run(objs, sampling.Config{
-			K: opts.K, Theta: theta, Metric: opts.Metric,
-			Eps: eps, Delta: delta, Rng: rng,
-			Parallelism: opts.Parallelism, PruneEps: opts.PruneEps,
+		sres, err := sampling.Run(ctx, objs, sampling.Config{
+			Config: cfg, Eps: eps, Delta: delta, Rng: rng,
 		})
 		if err != nil {
 			return nil, err
@@ -224,9 +220,8 @@ func Select(store *Store, region Rect, opts Options) (*Result, error) {
 		return out, nil
 	}
 
-	sel := &core.Selector{Objects: objs, K: opts.K, Theta: theta, Metric: opts.Metric,
-		MinGain: opts.MinGain, Parallelism: opts.Parallelism, PruneEps: opts.PruneEps}
-	res, err := sel.Run()
+	sel := &core.Selector{Config: cfg, Objects: objs}
+	res, err := sel.Run(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package geosel
 
 import (
+	"context"
+	"geosel/internal/engine"
 	"math"
 	"math/rand"
 	"testing"
@@ -20,7 +22,7 @@ func facadeStore(t *testing.T) *Store {
 func TestSelectBasic(t *testing.T) {
 	store := facadeStore(t)
 	region := RectAround(Pt(0.5, 0.5), 0.2)
-	res, err := Select(store, region, Options{K: 20, ThetaFrac: 0.003, Metric: Cosine()})
+	res, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 20, ThetaFrac: 0.003, Metric: Cosine()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestSelectBasic(t *testing.T) {
 func TestSelectAbsoluteTheta(t *testing.T) {
 	store := facadeStore(t)
 	region := RectAround(Pt(0.5, 0.5), 0.2)
-	res, err := Select(store, region, Options{K: 10, Theta: 0.05, Metric: Cosine()})
+	res, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 10, Theta: 0.05, Metric: Cosine()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,10 +73,7 @@ func TestSelectAbsoluteTheta(t *testing.T) {
 func TestSelectSampled(t *testing.T) {
 	store := facadeStore(t)
 	region := RectAround(Pt(0.5, 0.5), 0.35)
-	res, err := Select(store, region, Options{
-		K: 15, ThetaFrac: 0.003, Metric: Cosine(),
-		Sample: true, Rng: rand.New(rand.NewSource(2)),
-	})
+	res, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 15, ThetaFrac: 0.003, Metric: Cosine()}, Sample: true, Rng: rand.New(rand.NewSource(2))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,13 +88,13 @@ func TestSelectSampled(t *testing.T) {
 func TestSelectValidation(t *testing.T) {
 	store := facadeStore(t)
 	region := RectAround(Pt(0.5, 0.5), 0.1)
-	if _, err := Select(nil, region, Options{K: 5, Metric: Cosine()}); err == nil {
+	if _, err := Select(context.Background(), nil, region, Options{Config: engine.Config{K: 5, Metric: Cosine()}}); err == nil {
 		t.Error("nil store should fail")
 	}
-	if _, err := Select(store, region, Options{K: 5}); err == nil {
+	if _, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 5}}); err == nil {
 		t.Error("missing metric should fail")
 	}
-	if _, err := Select(store, region, Options{K: -2, Metric: Cosine()}); err == nil {
+	if _, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: -2, Metric: Cosine()}}); err == nil {
 		t.Error("negative K should fail")
 	}
 }
@@ -108,7 +107,7 @@ func TestFacadeCollectionRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Select(store, RectAround(Pt(0.5, 0.5), 0.5), Options{K: 2, Metric: Cosine()})
+	res, err := Select(context.Background(), store, RectAround(Pt(0.5, 0.5), 0.5), Options{Config: engine.Config{K: 2, Metric: Cosine()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,28 +166,28 @@ func TestFacadeScoreAndRepresentatives(t *testing.T) {
 
 func TestFacadeSessionFlow(t *testing.T) {
 	store := facadeStore(t)
-	sess, err := NewSession(store, SessionConfig{K: 10, ThetaFrac: 0.003, Metric: Cosine()})
+	sess, err := NewSession(store, SessionConfig{Config: engine.Config{K: 10, ThetaFrac: 0.003, Metric: Cosine()}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	region := RectAround(Pt(0.5, 0.5), 0.2)
-	if _, err := sess.Start(region); err != nil {
+	if _, err := sess.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Prefetch(); err != nil {
+	if err := sess.Prefetch(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	sel, err := sess.ZoomIn(RectAround(Pt(0.5, 0.5), 0.1))
+	sel, err := sess.ZoomIn(context.Background(), RectAround(Pt(0.5, 0.5), 0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sel.Prefetched {
 		t.Error("zoom-in should have used the prefetched bounds")
 	}
-	if _, err := sess.Pan(Pt(0.05, 0)); err != nil {
+	if _, err := sess.Pan(context.Background(), Pt(0.05, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.ZoomOut(sess.Viewport().Region.ScaleAroundCenter(2)); err != nil {
+	if _, err := sess.ZoomOut(context.Background(), sess.Viewport().Region.ScaleAroundCenter(2)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -203,16 +202,13 @@ func TestMercatorFacade(t *testing.T) {
 func TestSelectWithFilter(t *testing.T) {
 	store := facadeStore(t)
 	region := RectAround(Pt(0.5, 0.5), 0.3)
-	all, err := Select(store, region, Options{K: 10, Metric: Cosine()})
+	all, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 10, Metric: Cosine()}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Filter to objects whose weight exceeds 0.5; every selected object
 	// must satisfy it and RegionObjects must shrink.
-	filtered, err := Select(store, region, Options{
-		K: 10, Metric: Cosine(),
-		Filter: func(o *Object) bool { return o.Weight > 0.5 },
-	})
+	filtered, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 10, Metric: Cosine()}, Filter: func(o *Object) bool { return o.Weight > 0.5 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,15 +224,12 @@ func TestSelectWithFilter(t *testing.T) {
 
 func TestSessionWithFilter(t *testing.T) {
 	store := facadeStore(t)
-	sess, err := NewSession(store, SessionConfig{
-		K: 8, ThetaFrac: 0.003, Metric: Cosine(),
-		Filter: func(o *Object) bool { return o.Weight > 0.3 },
-	})
+	sess, err := NewSession(store, SessionConfig{Config: engine.Config{K: 8, ThetaFrac: 0.003, Metric: Cosine()}, Filter: func(o *Object) bool { return o.Weight > 0.3 }})
 	if err != nil {
 		t.Fatal(err)
 	}
 	region := RectAround(Pt(0.5, 0.5), 0.25)
-	sel, err := sess.Start(region)
+	sel, err := sess.Start(context.Background(), region)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +238,7 @@ func TestSessionWithFilter(t *testing.T) {
 			t.Fatalf("filtered session selected object %d below weight bound", p)
 		}
 	}
-	sel, err = sess.ZoomIn(RectAround(Pt(0.5, 0.5), 0.12))
+	sel, err = sess.ZoomIn(context.Background(), RectAround(Pt(0.5, 0.5), 0.12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,11 +255,11 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 func TestSelectMinGain(t *testing.T) {
 	store := facadeStore(t)
 	region := RectAround(Pt(0.5, 0.5), 0.3)
-	full, err := Select(store, region, Options{K: 20, Metric: Cosine()})
+	full, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 20, Metric: Cosine()}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cut, err := Select(store, region, Options{K: 20, Metric: Cosine(), MinGain: 1e18})
+	cut, err := Select(context.Background(), store, region, Options{Config: engine.Config{K: 20, Metric: Cosine(), MinGain: 1e18}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,9 @@ package geosel
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"geosel/internal/engine"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -37,13 +39,13 @@ func TestPipelineGenerateSaveLoadSelect(t *testing.T) {
 	}
 	dir := t.TempDir()
 	region := RectAround(Pt(0.5, 0.5), 0.25)
-	opts := Options{K: 12, ThetaFrac: 0.005, Metric: Cosine()}
+	opts := Options{Config: engine.Config{K: 12, ThetaFrac: 0.005, Metric: Cosine()}}
 
 	origStore, err := NewStore(col)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Select(origStore, region, opts)
+	want, err := Select(context.Background(), origStore, region, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func TestPipelineGenerateSaveLoadSelect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Select(store, region, opts)
+		got, err := Select(context.Background(), store, region, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,14 +107,14 @@ func TestPipelineSessionOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(store, sim.Cosine{})
+	srv, err := server.New(store, engine.Config{Metric: sim.Cosine{}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	direct, err := NewSession(store, SessionConfig{K: 7, ThetaFrac: 0.004, Metric: Cosine()})
+	direct, err := NewSession(store, SessionConfig{Config: engine.Config{K: 7, ThetaFrac: 0.004, Metric: Cosine()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestPipelineSessionOverHTTP(t *testing.T) {
 
 	region := map[string]float64{"minX": 0.3, "minY": 0.3, "maxX": 0.7, "maxY": 0.7}
 	httpStart := postJSON(base+"/start", map[string]any{"region": region})
-	dsel, err := direct.Start(Rect{Min: Pt(0.3, 0.3), Max: Pt(0.7, 0.7)})
+	dsel, err := direct.Start(context.Background(), Rect{Min: Pt(0.3, 0.3), Max: Pt(0.7, 0.7)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +194,7 @@ func TestPipelineSessionOverHTTP(t *testing.T) {
 
 	inner := map[string]float64{"minX": 0.4, "minY": 0.4, "maxX": 0.6, "maxY": 0.6}
 	httpZoom := postJSON(base+"/zoomin", map[string]any{"region": inner})
-	dzoom, err := direct.ZoomIn(Rect{Min: Pt(0.4, 0.4), Max: Pt(0.6, 0.6)})
+	dzoom, err := direct.ZoomIn(context.Background(), Rect{Min: Pt(0.4, 0.4), Max: Pt(0.6, 0.6)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,8 +229,8 @@ func TestPipelineRenderGallery(t *testing.T) {
 		"MaxMin": baselines.MaxMin(objs, k, m),
 		"KMeans": baselines.KMeans(objs, k, 20, newRand(9)),
 	}
-	g := &core.Selector{Objects: objs, K: k, Theta: 0.002, Metric: m}
-	res, err := g.Run()
+	g := &core.Selector{Config: engine.Config{K: k, Theta: 0.002, Metric: m}, Objects: objs}
+	res, err := g.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,10 +270,7 @@ func TestPipelineSamplingAtScale(t *testing.T) {
 		t.Skipf("region too sparse (%d objects)", len(objs))
 	}
 	theta := 0.003 * region.Width()
-	sres, err := sampling.Run(objs, sampling.Config{
-		K: 50, Theta: theta, Metric: sim.Cosine{},
-		Eps: 0.05, Delta: 0.1, Rng: newRand(12),
-	})
+	sres, err := sampling.Run(context.Background(), objs, sampling.Config{Config: engine.Config{K: 50, Theta: theta, Metric: sim.Cosine{}}, Eps: 0.05, Delta: 0.1, Rng: newRand(12)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,8 +284,8 @@ func TestPipelineSamplingAtScale(t *testing.T) {
 	if !core.SatisfiesVisibility(objs, sres.Selected, theta) {
 		t.Error("visibility violated on full data")
 	}
-	full := &core.Selector{Objects: objs, K: 50, Theta: theta, Metric: sim.Cosine{}}
-	fres, err := full.Run()
+	full := &core.Selector{Config: engine.Config{K: 50, Theta: theta, Metric: sim.Cosine{}}, Objects: objs}
+	fres, err := full.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

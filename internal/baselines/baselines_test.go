@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"context"
+	"geosel/internal/engine"
 	"math"
 	"math/rand"
 	"testing"
@@ -279,8 +281,8 @@ func TestGreedyBeatsBaselinesOnScore(t *testing.T) {
 	objs := testObjects(250, 21)
 	m := metric(t)
 	k, theta := 12, 0.05
-	g := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: m}
-	res, err := g.Run()
+	g := &core.Selector{Config: engine.Config{K: k, Theta: theta, Metric: m}, Objects: objs}
+	res, err := g.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

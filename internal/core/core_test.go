@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/sim"
@@ -164,8 +166,8 @@ func TestSatisfiesVisibility(t *testing.T) {
 func TestGreedyBasic(t *testing.T) {
 	objs := testObjects(200, 7)
 	m := hybridMetric(t)
-	sel := &Selector{Objects: objs, K: 10, Theta: 0.05, Metric: m}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 10, Theta: 0.05, Metric: m}, Objects: objs}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,24 +196,24 @@ func TestGreedyValidation(t *testing.T) {
 		name string
 		sel  Selector
 	}{
-		{"negative K", Selector{Objects: objs, K: -1, Metric: m}},
-		{"negative theta", Selector{Objects: objs, K: 1, Theta: -0.1, Metric: m}},
-		{"nil metric", Selector{Objects: objs, K: 1}},
-		{"candidate out of range", Selector{Objects: objs, K: 1, Metric: m, Candidates: []int{99}}},
-		{"forced out of range", Selector{Objects: objs, K: 1, Metric: m, Forced: []int{-3}}},
-		{"too many forced", Selector{Objects: objs, K: 1, Metric: m, Forced: []int{0, 1}}},
-		{"gains without candidates", Selector{Objects: objs, K: 1, Metric: m, InitialGains: []float64{1}}},
-		{"gains size mismatch", Selector{Objects: objs, K: 1, Metric: m, Candidates: []int{0, 1}, InitialGains: []float64{1}}},
+		{"negative K", Selector{Config: engine.Config{K: -1, Metric: m}, Objects: objs}},
+		{"negative theta", Selector{Config: engine.Config{K: 1, Theta: -0.1, Metric: m}, Objects: objs}},
+		{"nil metric", Selector{Config: engine.Config{K: 1}, Objects: objs}},
+		{"candidate out of range", Selector{Config: engine.Config{K: 1, Metric: m}, Objects: objs, Candidates: []int{99}}},
+		{"forced out of range", Selector{Config: engine.Config{K: 1, Metric: m}, Objects: objs, Forced: []int{-3}}},
+		{"too many forced", Selector{Config: engine.Config{K: 1, Metric: m}, Objects: objs, Forced: []int{0, 1}}},
+		{"gains without candidates", Selector{Config: engine.Config{K: 1, Metric: m}, Objects: objs, InitialGains: []float64{1}}},
+		{"gains size mismatch", Selector{Config: engine.Config{K: 1, Metric: m}, Objects: objs, Candidates: []int{0, 1}, InitialGains: []float64{1}}},
 	}
 	for _, c := range cases {
-		if _, err := c.sel.Run(); err == nil {
+		if _, err := c.sel.Run(context.Background()); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
 	// Conflicting forced set.
 	close1 := []geodata.Object{{Loc: geo.Pt(0, 0)}, {Loc: geo.Pt(0.001, 0)}}
-	bad := Selector{Objects: close1, K: 2, Theta: 0.1, Metric: m, Forced: []int{0, 1}}
-	if _, err := bad.Run(); err == nil {
+	bad := Selector{Config: engine.Config{K: 2, Theta: 0.1, Metric: m}, Objects: close1, Forced: []int{0, 1}}
+	if _, err := bad.Run(context.Background()); err == nil {
 		t.Error("conflicting forced set: expected error")
 	}
 }
@@ -220,8 +222,8 @@ func TestGreedyFewerThanK(t *testing.T) {
 	// With a huge theta only one object can be displayed.
 	objs := testObjects(50, 9)
 	m := hybridMetric(t)
-	sel := &Selector{Objects: objs, K: 10, Theta: 10, Metric: m}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 10, Theta: 10, Metric: m}, Objects: objs}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,8 +234,8 @@ func TestGreedyFewerThanK(t *testing.T) {
 
 func TestGreedyKZero(t *testing.T) {
 	objs := testObjects(10, 10)
-	sel := &Selector{Objects: objs, K: 0, Metric: sim.Cosine{}}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 0, Metric: sim.Cosine{}}, Objects: objs}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,8 +245,8 @@ func TestGreedyKZero(t *testing.T) {
 }
 
 func TestGreedyEmptyObjects(t *testing.T) {
-	sel := &Selector{Objects: nil, K: 5, Theta: 0.1, Metric: sim.Cosine{}}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 5, Theta: 0.1, Metric: sim.Cosine{}}, Objects: nil}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,8 +268,8 @@ func TestGreedyPicksHighestGainFirst(t *testing.T) {
 	objs = append(objs, geodata.Object{
 		Loc: geo.Pt(0.9, 0.9), Weight: 1,
 		Vec: textsim.FromText(vocab, "outlier")})
-	sel := &Selector{Objects: objs, K: 1, Theta: 0, Metric: sim.Cosine{}}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 1, Theta: 0, Metric: sim.Cosine{}}, Objects: objs}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,13 +284,13 @@ func TestGreedyMatchesNaive(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		objs := testObjects(120, 20+seed)
 		m := hybridMetric(t)
-		lazy := &Selector{Objects: objs, K: 12, Theta: 0.04, Metric: m}
-		naive := &Selector{Objects: objs, K: 12, Theta: 0.04, Metric: m, DisableLazy: true}
-		r1, err := lazy.Run()
+		lazy := &Selector{Config: engine.Config{K: 12, Theta: 0.04, Metric: m}, Objects: objs}
+		naive := &Selector{Config: engine.Config{K: 12, Theta: 0.04, Metric: m, DisableLazy: true}, Objects: objs}
+		r1, err := lazy.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := naive.Run()
+		r2, err := naive.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,13 +312,13 @@ func TestGreedyGridMatchesLinear(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		objs := testObjects(150, 40+seed)
 		m := hybridMetric(t)
-		withGrid := &Selector{Objects: objs, K: 15, Theta: 0.06, Metric: m}
-		noGrid := &Selector{Objects: objs, K: 15, Theta: 0.06, Metric: m, DisableGrid: true}
-		r1, err := withGrid.Run()
+		withGrid := &Selector{Config: engine.Config{K: 15, Theta: 0.06, Metric: m}, Objects: objs}
+		noGrid := &Selector{Config: engine.Config{K: 15, Theta: 0.06, Metric: m, DisableGrid: true}, Objects: objs}
+		r1, err := withGrid.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := noGrid.Run()
+		r2, err := noGrid.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -338,8 +340,8 @@ func TestGreedyApproximationRatio(t *testing.T) {
 		objs := testObjects(12, 60+seed)
 		m := hybridMetric(t)
 		k, theta := 3, 0.15
-		g := &Selector{Objects: objs, K: k, Theta: theta, Metric: m}
-		res, err := g.Run()
+		g := &Selector{Config: engine.Config{K: k, Theta: theta, Metric: m}, Objects: objs}
+		res, err := g.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -360,8 +362,8 @@ func TestGreedyCandidatesOnly(t *testing.T) {
 	objs := testObjects(60, 80)
 	m := hybridMetric(t)
 	cands := []int{0, 5, 10, 15, 20, 25, 30}
-	sel := &Selector{Objects: objs, K: 4, Theta: 0, Metric: m, Candidates: cands}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 4, Theta: 0, Metric: m}, Objects: objs, Candidates: cands}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,8 +382,8 @@ func TestGreedyForced(t *testing.T) {
 	objs := testObjects(80, 81)
 	m := hybridMetric(t)
 	forced := []int{3, 17}
-	sel := &Selector{Objects: objs, K: 6, Theta: 0.02, Metric: m, Forced: forced}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 6, Theta: 0.02, Metric: m}, Objects: objs, Forced: forced}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		// Forced pair may conflict at this theta; regenerate would be
 		// noise — just require the specific error.
@@ -412,9 +414,8 @@ func TestGreedyForcedEqualsK(t *testing.T) {
 		{Loc: geo.Pt(0.9, 0.9), Weight: 1},
 		{Loc: geo.Pt(0.5, 0.5), Weight: 1},
 	}
-	sel := &Selector{Objects: objs, K: 2, Theta: 0.1,
-		Metric: sim.EuclideanProximity{MaxDist: 2}, Forced: []int{0, 1}}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 2, Theta: 0.1, Metric: sim.EuclideanProximity{MaxDist: 2}}, Objects: objs, Forced: []int{0, 1}}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,14 +444,13 @@ func TestGreedyInitialGainsUpperBounds(t *testing.T) {
 		for i := range bounds {
 			bounds[i] = wsum
 		}
-		plain := &Selector{Objects: objs, K: 8, Theta: 0.05, Metric: m}
-		seeded := &Selector{Objects: objs, K: 8, Theta: 0.05, Metric: m,
-			Candidates: cands, InitialGains: bounds}
-		r1, err := plain.Run()
+		plain := &Selector{Config: engine.Config{K: 8, Theta: 0.05, Metric: m}, Objects: objs}
+		seeded := &Selector{Config: engine.Config{K: 8, Theta: 0.05, Metric: m}, Objects: objs, Candidates: cands, InitialGains: bounds}
+		r1, err := plain.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := seeded.Run()
+		r2, err := seeded.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -484,14 +484,13 @@ func TestGreedyTightInitialGainsReduceEvals(t *testing.T) {
 		}
 		bounds[i] = g
 	}
-	plain := &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: m}
-	seeded := &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: m,
-		Candidates: cands, InitialGains: bounds}
-	r1, err := plain.Run()
+	plain := &Selector{Config: engine.Config{K: 10, Theta: 0.03, Metric: m}, Objects: objs}
+	seeded := &Selector{Config: engine.Config{K: 10, Theta: 0.03, Metric: m}, Objects: objs, Candidates: cands, InitialGains: bounds}
+	r1, err := plain.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := seeded.Run()
+	r2, err := seeded.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,8 +507,8 @@ func TestGreedyTightInitialGainsReduceEvals(t *testing.T) {
 func TestGreedySumAggregation(t *testing.T) {
 	objs := testObjects(50, 300)
 	m := hybridMetric(t)
-	sel := &Selector{Objects: objs, K: 5, Theta: 0.05, Metric: m, Agg: AggSum}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 5, Theta: 0.05, Metric: m, Agg: AggSum}, Objects: objs}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,8 +519,8 @@ func TestGreedySumAggregation(t *testing.T) {
 	// Under AggSum the objective is modular: greedy is optimal among
 	// visibility-feasible sets built in gain order; at minimum, the
 	// picks must be sorted by descending initial gain when theta = 0.
-	sel0 := &Selector{Objects: objs, K: 5, Theta: 0, Metric: m, Agg: AggSum}
-	res0, err := sel0.Run()
+	sel0 := &Selector{Config: engine.Config{K: 5, Theta: 0, Metric: m, Agg: AggSum}, Objects: objs}
+	res0, err := sel0.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,8 +541,8 @@ func TestGreedySumAggregation(t *testing.T) {
 func TestGreedyAvgAggregation(t *testing.T) {
 	objs := testObjects(40, 301)
 	m := hybridMetric(t)
-	sel := &Selector{Objects: objs, K: 4, Theta: 0.05, Metric: m, Agg: AggAvg}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 4, Theta: 0.05, Metric: m, Agg: AggAvg}, Objects: objs}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,8 +557,8 @@ func TestGreedyDeterministic(t *testing.T) {
 	m := hybridMetric(t)
 	var prev []int
 	for trial := 0; trial < 3; trial++ {
-		sel := &Selector{Objects: objs, K: 8, Theta: 0.05, Metric: m}
-		res, err := sel.Run()
+		sel := &Selector{Config: engine.Config{K: 8, Theta: 0.05, Metric: m}, Objects: objs}
+		res, err := sel.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -690,8 +689,8 @@ func TestPaperWorkedExample(t *testing.T) {
 		return lookup(a.ID-1, b.ID-1)
 	})
 	theta := 0.05
-	sel := &Selector{Objects: objs, K: 2, Theta: theta, Metric: metric}
-	res, err := sel.Run()
+	sel := &Selector{Config: engine.Config{K: 2, Theta: theta, Metric: metric}, Objects: objs}
+	res, err := sel.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -705,7 +704,7 @@ func TestPaperWorkedExample(t *testing.T) {
 		t.Errorf("second pick id = %d, want o4", second)
 	}
 	// The paper's marginal for o1: (1+0.9+0.2+0.5+0+0) = 2.6.
-	e := newEvaluator(objs, metric, AggMax, nil)
+	e := newEvaluator(nil, objs, metric, AggMax, nil)
 	if g := e.marginal(make([]float64, 6), 0); math.Abs(g-2.6) > 1e-9 {
 		t.Errorf("initial marginal of o1 = %v, want 2.6", g)
 	}
@@ -720,8 +719,8 @@ func TestGainsNonIncreasing(t *testing.T) {
 		objs := testObjects(150, 600+seed)
 		m := hybridMetric(t)
 		for _, naive := range []bool{false, true} {
-			sel := &Selector{Objects: objs, K: 15, Theta: 0.03, Metric: m, DisableLazy: naive}
-			res, err := sel.Run()
+			sel := &Selector{Config: engine.Config{K: 15, Theta: 0.03, Metric: m, DisableLazy: naive}, Objects: objs}
+			res, err := sel.Run(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -759,8 +758,8 @@ func TestQuickGreedyInvariants(t *testing.T) {
 			}
 		}
 		k, theta := 3, 0.2
-		sel := &Selector{Objects: objs, K: k, Theta: theta, Metric: m}
-		res, err := sel.Run()
+		sel := &Selector{Config: engine.Config{K: k, Theta: theta, Metric: m}, Objects: objs}
+		res, err := sel.Run(context.Background())
 		if err != nil {
 			return false
 		}
@@ -801,8 +800,8 @@ func TestMinGainEarlyStop(t *testing.T) {
 	objs := testObjects(200, 700)
 	m := hybridMetric(t)
 	// Full run to learn the gain profile.
-	full := &Selector{Objects: objs, K: 30, Theta: 0.02, Metric: m}
-	fres, err := full.Run()
+	full := &Selector{Config: engine.Config{K: 30, Theta: 0.02, Metric: m}, Objects: objs}
+	fres, err := full.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -811,9 +810,8 @@ func TestMinGainEarlyStop(t *testing.T) {
 	}
 	cut := fres.Gains[9] // stop strictly before the 11th pick at latest
 	for _, naive := range []bool{false, true} {
-		sel := &Selector{Objects: objs, K: 30, Theta: 0.02, Metric: m,
-			MinGain: cut, DisableLazy: naive}
-		res, err := sel.Run()
+		sel := &Selector{Config: engine.Config{K: 30, Theta: 0.02, Metric: m, MinGain: cut, DisableLazy: naive}, Objects: objs}
+		res, err := sel.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -833,8 +831,8 @@ func TestMinGainEarlyStop(t *testing.T) {
 		}
 	}
 	// MinGain above every gain selects nothing.
-	none := &Selector{Objects: objs, K: 30, Theta: 0.02, Metric: m, MinGain: 1e18}
-	nres, err := none.Run()
+	none := &Selector{Config: engine.Config{K: 30, Theta: 0.02, Metric: m, MinGain: 1e18}, Objects: objs}
+	nres, err := none.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

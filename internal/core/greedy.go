@@ -1,35 +1,37 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/grid"
 	"geosel/internal/invariant"
 	"geosel/internal/lazyheap"
 	"geosel/internal/parallel"
-	"geosel/internal/sim"
 )
 
 // Selector configures one run of the greedy selection algorithm. The
-// zero value is not runnable; populate at least Objects, K, Theta and
-// Metric. A Selector is single-use: build a new one per query (a second
-// Run returns an error).
+// shared knobs — K, Theta, Metric, Agg, MinGain, Parallelism, PruneEps
+// and the Disable* ablation switches — live in the embedded
+// engine.Config (see that package for per-field semantics); the fields
+// declared here are the per-run inputs. The zero value is not runnable;
+// populate at least Objects and Config{K, Theta, Metric}. A Selector is
+// single-use: build a new one per query (a second Run returns an
+// error).
 type Selector struct {
+	// Config carries the unified engine knobs. Layers above forward
+	// their embedded config here wholesale, with Theta resolved to an
+	// absolute distance; core ignores the session/serving fields
+	// (ThetaFrac, MaxZoomOutScale, TilesPerSide, AsyncPrefetch,
+	// RequestTimeout, SessionTTL, MaxSessions).
+	engine.Config
+
 	// Objects is the set O of geospatial objects in the region of
 	// interest. Scores are normalized by len(Objects).
 	Objects []geodata.Object
-	// K is the number of objects to display, |S ∪ D|.
-	K int
-	// Theta is the visibility threshold θ: any two displayed objects
-	// must be at distance >= Theta.
-	Theta float64
-	// Metric is the similarity function Sim(·,·).
-	Metric sim.Metric
-	// Agg selects the aggregation for Sim(o, S); AggMax is the paper's
-	// default.
-	Agg Agg
 
 	// Candidates holds the positions (into Objects) of the candidate set
 	// G from which new objects may be selected. Nil means all objects
@@ -50,48 +52,6 @@ type Selector struct {
 	// skips the O(|O|·|G|) exact heap initialization — the paper's
 	// main bottleneck — and lazily refines bounds instead.
 	InitialGains []float64
-
-	// MinGain, when positive, stops the selection early once the best
-	// available (unnormalized) marginal gain falls below it — fewer
-	// pins, but only ones that still add representativeness. The
-	// submodularity of the objective guarantees that once the top gain
-	// drops below MinGain it never recovers.
-	MinGain float64
-
-	// Parallelism is the number of worker goroutines evaluating
-	// marginal gains: 0 (or negative) selects runtime.NumCPU(), 1 runs
-	// fully serial. Every setting returns identical Selected, Score and
-	// Gains — all floating-point reductions combine fixed-size chunk
-	// partials in a fixed order — so the knob trades wall-clock time
-	// only. With Parallelism != 1 the Metric must be safe for
-	// concurrent use; all metrics in internal/sim are. Instances
-	// smaller than a few hundred objects run serially regardless.
-	Parallelism int
-
-	// PruneEps selects the support-radius pruning mode. The default 0
-	// permits exact pruning only: gain passes iterate grid neighbor
-	// lists instead of all of O whenever the metric's similarity is
-	// exactly zero beyond a finite radius (EuclideanProximity), with
-	// bitwise-identical Selected, Score and Gains guaranteed. A value
-	// in (0, 1) additionally admits metrics that certify an eps-support
-	// radius (GaussianProximity beyond Sigma·sqrt(ln(1/eps))), trading
-	// an additive score error of at most PruneEps·Σω/|O| (AggMax; AggSum
-	// accumulates the budget once per selected object) for the same
-	// neighbor-list speedup. Metrics without bounded support (Cosine,
-	// custom) always evaluate densely, as do instances below the serial
-	// cutoff.
-	PruneEps float64
-	// DisablePrune switches off support-radius pruning entirely, even
-	// for metrics with an exact radius. For ablation benchmarks.
-	DisablePrune bool
-
-	// DisableLazy switches off the lazy-forward strategy and recomputes
-	// every candidate's marginal gain in every iteration (the "naive
-	// idea" the paper rejects). For ablation benchmarks.
-	DisableLazy bool
-	// DisableGrid switches off the grid index for visibility-conflict
-	// removal and uses a linear scan instead. For ablation benchmarks.
-	DisableGrid bool
 
 	// ran flips on the first successful entry into Run, enforcing the
 	// single-use contract.
@@ -128,7 +88,14 @@ type Result struct {
 // configurations (bad K/Theta, nil metric, out-of-range indices,
 // conflicting forced objects, mis-sized InitialGains) and when called a
 // second time on the same Selector.
-func (s *Selector) Run() (*Result, error) {
+//
+// ctx cancels the run cooperatively: the context is checked at every
+// evaluation-chunk boundary, so a cancelled run stops within one chunk
+// of work per worker and returns ctx.Err(). A nil ctx never cancels.
+// Cancellation does not affect determinism — a run either completes
+// with the exact same result as every other completed run, or returns
+// an error and no result.
+func (s *Selector) Run(ctx context.Context) (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("core: Selector is single-use: Run already called (build a new Selector per query)")
 	}
@@ -136,6 +103,9 @@ func (s *Selector) Run() (*Result, error) {
 		return nil, err
 	}
 	s.ran = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(s.Objects)
 	res := &Result{}
 
@@ -146,7 +116,7 @@ func (s *Selector) Run() (*Result, error) {
 		pool = parallel.New(s.Parallelism)
 		defer pool.Close()
 	}
-	e := newEvaluator(s.Objects, s.Metric, s.Agg, pool)
+	e := newEvaluator(ctx, s.Objects, s.Metric, s.Agg, pool)
 
 	// best[i] = current Sim(o_i, S): the aggregation state per object.
 	// For AggSum/AggAvg it accumulates the sum of similarities.
@@ -202,12 +172,18 @@ func (s *Selector) Run() (*Result, error) {
 			rowIDs = append(append(make([]int, 0, len(active)+len(s.Forced)), active...), s.Forced...)
 		}
 		e.enablePruning(s.Metric, s.PruneEps, rowIDs)
+		if err := e.fail(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Seed with the forced set D.
 	for _, f := range s.Forced {
 		selected = append(selected, f)
 		e.absorb(best, f)
+	}
+	if err := e.fail(); err != nil {
+		return nil, err
 	}
 
 	if s.DisableLazy {
@@ -223,17 +199,11 @@ func (s *Selector) Run() (*Result, error) {
 }
 
 func (s *Selector) validate() error {
-	if s.K < 0 {
-		return fmt.Errorf("core: K = %d must be non-negative", s.K)
-	}
-	if s.Theta < 0 {
-		return fmt.Errorf("core: Theta = %v must be non-negative", s.Theta)
-	}
-	if s.Metric == nil {
-		return fmt.Errorf("core: Metric must not be nil")
-	}
-	if s.PruneEps < 0 || s.PruneEps >= 1 {
-		return fmt.Errorf("core: PruneEps = %v outside [0, 1)", s.PruneEps)
+	// Shared knob ranges (K, Theta, Metric, PruneEps, ...) are validated
+	// once, in the engine package; only the per-run inputs are checked
+	// here.
+	if err := s.Config.Validate(); err != nil {
+		return err
 	}
 	n := len(s.Objects)
 	for _, c := range s.Candidates {
@@ -264,10 +234,15 @@ func (s *Selector) validate() error {
 	return nil
 }
 
-// finish computes the final normalized score from the aggregation state.
-func (s *Selector) finish(e *evaluator, res *Result, best []float64, selected []int) {
+// finish computes the final normalized score from the aggregation
+// state; on a cancelled run it reports the context error instead.
+func (s *Selector) finish(e *evaluator, res *Result, best []float64, selected []int) error {
+	sc := e.score(best, len(selected))
+	if err := e.fail(); err != nil {
+		return err
+	}
 	res.Selected = selected
-	res.Score = e.score(best, len(selected))
+	res.Score = sc
 	if invariant.Enabled {
 		// The correctness contract of the whole greedy run: gains are
 		// monotone non-increasing (submodularity), the selection is
@@ -280,6 +255,7 @@ func (s *Selector) finish(e *evaluator, res *Result, best []float64, selected []
 		invariant.PairwiseSeparated(len(selected), dist, s.Theta, "core: final selection visibility")
 		invariant.PackingBound(len(selected), dist, s.Theta, "core: final selection packing")
 	}
+	return nil
 }
 
 // runLazy is Algorithm 1: heap of ⟨o, Δ(o), Iter⟩ tuples, re-evaluating
@@ -302,6 +278,9 @@ func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, 
 		// Exact O(|O|·|G|) heap initialization — the paper's main
 		// bottleneck — evaluated with one candidate per worker task.
 		gains := e.marginalBatch(best, active)
+		if err := e.fail(); err != nil {
+			return err
+		}
 		res.Evals += len(active)
 		for i, c := range active {
 			h.Push(lazyheap.Tuple{ID: c, Gain: gains[i], Iter: 0})
@@ -339,6 +318,9 @@ func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, 
 				ids = append(ids, u.ID)
 			}
 			gains := e.marginalBatch(best, ids)
+			if err := e.fail(); err != nil {
+				return err
+			}
 			res.Evals += len(batch)
 			if invariant.Enabled {
 				// Lemma 4.1 (submodularity) for stale heap entries, and
@@ -361,12 +343,14 @@ func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, 
 		selected = append(selected, t.ID)
 		res.Gains = append(res.Gains, t.Gain)
 		e.absorb(best, t.ID)
+		if err := e.fail(); err != nil {
+			return err
+		}
 		s.removeConflicts(h, cg, active, t.ID)
 		iter++
 		res.Rounds++
 	}
-	s.finish(e, res, best, selected)
-	return nil
+	return s.finish(e, res, best, selected)
 }
 
 // runNaive recomputes every remaining candidate's marginal gain each
@@ -378,6 +362,9 @@ func (s *Selector) runNaive(e *evaluator, res *Result, best []float64, selected,
 	alive := append([]int(nil), active...)
 	for len(selected) < s.K && len(alive) > 0 {
 		gains := e.marginalBatch(best, alive)
+		if err := e.fail(); err != nil {
+			return err
+		}
 		res.Evals += len(alive)
 		bestC, bestGain := -1, -1.0
 		for k, c := range alive {
@@ -391,6 +378,9 @@ func (s *Selector) runNaive(e *evaluator, res *Result, best []float64, selected,
 		selected = append(selected, bestC)
 		res.Gains = append(res.Gains, bestGain)
 		e.absorb(best, bestC)
+		if err := e.fail(); err != nil {
+			return err
+		}
 		keep := alive[:0]
 		for _, c := range alive {
 			if c == bestC || s.Objects[c].Loc.Dist(s.Objects[bestC].Loc) < s.Theta {
@@ -401,8 +391,7 @@ func (s *Selector) runNaive(e *evaluator, res *Result, best []float64, selected,
 		alive = keep
 		res.Rounds++
 	}
-	s.finish(e, res, best, selected)
-	return nil
+	return s.finish(e, res, best, selected)
 }
 
 // conflictGrid builds the grid index over the active candidates, or

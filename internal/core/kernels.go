@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"geosel/internal/geodata"
 	"geosel/internal/parallel"
 	"geosel/internal/sim"
@@ -34,6 +36,14 @@ type evaluator struct {
 	kern sim.Kernel
 	agg  Agg
 	pool *parallel.Pool
+	// ctx cancels the run; done caches ctx.Done() so the per-chunk
+	// cancellation probe in worker loops is one channel poll.
+	ctx  context.Context
+	done <-chan struct{}
+	// err records the first pool-run failure (always a context error).
+	// Only the orchestrating goroutine reads or writes it; once set, the
+	// aggregation state is garbage and the run must abort.
+	err error
 	// nChunks = ceil(len(objs)/evalChunk).
 	nChunks int
 	// partials holds one partial sum per chunk; reused by the
@@ -45,12 +55,17 @@ type evaluator struct {
 }
 
 // newEvaluator compiles the metric into a kernel and binds the pool.
-// A nil pool is valid and runs everything serially.
-func newEvaluator(objs []geodata.Object, m sim.Metric, agg Agg, pool *parallel.Pool) *evaluator {
+// A nil pool is valid and runs everything serially; a nil ctx never
+// cancels.
+func newEvaluator(ctx context.Context, objs []geodata.Object, m sim.Metric, agg Agg, pool *parallel.Pool) *evaluator {
 	kern, _ := sim.CompileKernel(m, objs)
 	w := make([]float64, len(objs))
 	for i := range objs {
 		w[i] = objs[i].Weight
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	nChunks := (len(objs) + evalChunk - 1) / evalChunk
 	return &evaluator{
@@ -59,8 +74,42 @@ func newEvaluator(objs []geodata.Object, m sim.Metric, agg Agg, pool *parallel.P
 		kern:     kern,
 		agg:      agg,
 		pool:     pool,
+		ctx:      ctx,
+		done:     done,
 		nChunks:  nChunks,
 		partials: make([]float64, nChunks),
+	}
+}
+
+// run executes fn over [0, n) on the pool, latching the first context
+// error into e.err. Once a run has failed, subsequent runs are no-ops —
+// callers check e.fail() at their next synchronization point instead of
+// threading errors through every pass.
+func (e *evaluator) run(n int, fn func(int)) {
+	if e.err != nil {
+		return
+	}
+	if err := e.pool.Run(e.ctx, n, fn); err != nil {
+		e.err = err
+	}
+}
+
+// fail reports the latched context error, if any.
+func (e *evaluator) fail() error {
+	return e.err
+}
+
+// cancelled polls the run's cancellation signal. Safe from worker
+// goroutines (unlike e.err, which is orchestrator-only state).
+func (e *evaluator) cancelled() bool {
+	if e.done == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -27,7 +27,7 @@ func (e *evaluator) absorb(best []float64, sel int) {
 	kern := e.kern
 	n := len(e.objs)
 	if e.agg == AggSum || e.agg == AggAvg {
-		e.pool.Run(e.nChunks, func(chunk int) {
+		e.run(e.nChunks, func(chunk int) {
 			lo, hi := chunkBounds(chunk, n)
 			for i := lo; i < hi; i++ {
 				best[i] += kern(i, sel)
@@ -35,7 +35,7 @@ func (e *evaluator) absorb(best []float64, sel int) {
 		})
 		return
 	}
-	e.pool.Run(e.nChunks, func(chunk int) {
+	e.run(e.nChunks, func(chunk int) {
 		lo, hi := chunkBounds(chunk, n)
 		for i := lo; i < hi; i++ {
 			if v := kern(i, sel); v > best[i] {
@@ -75,7 +75,7 @@ func (e *evaluator) marginal(best []float64, c int) float64 {
 		return 0
 	}
 	partials := e.partials
-	e.pool.Run(e.nChunks, func(chunk int) {
+	e.run(e.nChunks, func(chunk int) {
 		partials[chunk] = e.marginalChunk(best, c, chunk)
 	})
 	var gain float64
@@ -87,10 +87,17 @@ func (e *evaluator) marginal(best []float64, c int) float64 {
 
 // marginalLocal computes the same value as marginal entirely on the
 // calling goroutine — the identical chunk order makes it bitwise equal
-// — for use inside worker tasks that own one candidate each.
+// — for use inside worker tasks that own one candidate each. Worker
+// tasks own a full O(|O|) row, so cancellation is probed at chunk
+// boundaries here too; the bailed-out value is garbage, which is fine
+// because the orchestrator discards all outputs once e.fail() reports
+// the cancellation.
 func (e *evaluator) marginalLocal(best []float64, c int) float64 {
 	var gain float64
 	for chunk := 0; chunk < e.nChunks; chunk++ {
+		if e.cancelled() {
+			return 0
+		}
 		gain += e.marginalChunk(best, c, chunk)
 	}
 	return gain
@@ -109,7 +116,7 @@ func (e *evaluator) marginalBatch(best []float64, cs []int) []float64 {
 		if len(cs) == 1 {
 			out[0] = e.marginalPruned(best, cs[0])
 		} else {
-			e.pool.Run(len(cs), func(k int) {
+			e.run(len(cs), func(k int) {
 				out[k] = e.marginalPruned(best, cs[k])
 			})
 		}
@@ -129,7 +136,7 @@ func (e *evaluator) marginalBatch(best []float64, cs []int) []float64 {
 		out[0] = e.marginal(best, cs[0])
 		return out
 	}
-	e.pool.Run(len(cs), func(k int) {
+	e.run(len(cs), func(k int) {
 		out[k] = e.marginalLocal(best, cs[k])
 	})
 	return out
@@ -149,7 +156,7 @@ func (e *evaluator) score(best []float64, nSelected int) float64 {
 	}
 	partials := e.partials
 	w := e.w
-	e.pool.Run(e.nChunks, func(chunk int) {
+	e.run(e.nChunks, func(chunk int) {
 		lo, hi := chunkBounds(chunk, n)
 		var part float64
 		for i := lo; i < hi; i++ {

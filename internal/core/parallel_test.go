@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"geosel/internal/engine"
 	"geosel/internal/geodata"
 	"geosel/internal/sim"
 )
@@ -119,9 +121,9 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 		for _, mc := range metrics {
 			for _, k := range []int{6, 25} {
 				for _, theta := range []float64{0, 0.04} {
-					serial := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta, Metric: mc.m, Parallelism: 1})
+					serial := mustRun(t, &Selector{Config: engine.Config{K: k, Theta: theta, Metric: mc.m, Parallelism: 1}, Objects: objs})
 					for _, par := range []int{3, 8} {
-						got := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta, Metric: mc.m, Parallelism: par})
+						got := mustRun(t, &Selector{Config: engine.Config{K: k, Theta: theta, Metric: mc.m, Parallelism: par}, Objects: objs})
 						assertIdenticalResults(t, serial, got, mc.name, seed, k, theta, par)
 					}
 					// The O(n²·k) reference replay is expensive; one seed
@@ -138,7 +140,7 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 
 func mustRun(t *testing.T, s *Selector) *Result {
 	t.Helper()
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,11 +190,9 @@ func TestParallelDeterminismWithBounds(t *testing.T) {
 	for i := range bounds {
 		bounds[i] = wsum // trivially valid upper bound (Sim <= 1)
 	}
-	serial := mustRun(t, &Selector{Objects: objs, K: 12, Theta: 0.03, Metric: m,
-		Candidates: cands, InitialGains: bounds, Parallelism: 1})
+	serial := mustRun(t, &Selector{Config: engine.Config{K: 12, Theta: 0.03, Metric: m, Parallelism: 1}, Objects: objs, Candidates: cands, InitialGains: bounds})
 	for _, par := range []int{2, 8} {
-		got := mustRun(t, &Selector{Objects: objs, K: 12, Theta: 0.03, Metric: m,
-			Candidates: cands, InitialGains: bounds, Parallelism: par})
+		got := mustRun(t, &Selector{Config: engine.Config{K: 12, Theta: 0.03, Metric: m, Parallelism: par}, Objects: objs, Candidates: cands, InitialGains: bounds})
 		assertIdenticalResults(t, serial, got, "bounded", 77, 12, 0.03, par)
 	}
 }
@@ -202,8 +202,8 @@ func TestParallelDeterminismWithBounds(t *testing.T) {
 func TestParallelNaiveMatchesLazy(t *testing.T) {
 	objs := testObjects(600, 31)
 	m := hybridMetric(t)
-	lazy := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.05, Metric: m, Parallelism: 4})
-	naive := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.05, Metric: m, Parallelism: 4, DisableLazy: true})
+	lazy := mustRun(t, &Selector{Config: engine.Config{K: 10, Theta: 0.05, Metric: m, Parallelism: 4}, Objects: objs})
+	naive := mustRun(t, &Selector{Config: engine.Config{K: 10, Theta: 0.05, Metric: m, Parallelism: 4, DisableLazy: true}, Objects: objs})
 	assertIdenticalResults(t, lazy, naive, "naive-vs-lazy", 31, 10, 0.05, 4)
 }
 
@@ -212,21 +212,21 @@ func TestParallelNaiveMatchesLazy(t *testing.T) {
 // recomputing from stale state.
 func TestSelectorSingleUse(t *testing.T) {
 	objs := testObjects(50, 1)
-	sel := &Selector{Objects: objs, K: 3, Theta: 0.05, Metric: sim.Cosine{}}
-	if _, err := sel.Run(); err != nil {
+	sel := &Selector{Config: engine.Config{K: 3, Theta: 0.05, Metric: sim.Cosine{}}, Objects: objs}
+	if _, err := sel.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sel.Run(); err == nil {
+	if _, err := sel.Run(context.Background()); err == nil {
 		t.Fatal("second Run on the same Selector should fail")
 	}
 	// A failed validation does not consume the Selector: fixing the
 	// configuration and re-running is allowed.
-	fixable := &Selector{Objects: objs, K: 3, Theta: 0.05}
-	if _, err := fixable.Run(); err == nil {
+	fixable := &Selector{Config: engine.Config{K: 3, Theta: 0.05}, Objects: objs}
+	if _, err := fixable.Run(context.Background()); err == nil {
 		t.Fatal("nil metric should fail validation")
 	}
 	fixable.Metric = sim.Cosine{}
-	if _, err := fixable.Run(); err != nil {
+	if _, err := fixable.Run(context.Background()); err != nil {
 		t.Fatalf("Run after fixing a validation error: %v", err)
 	}
 }
@@ -238,8 +238,8 @@ func TestSelectorSingleUse(t *testing.T) {
 func TestGreedyThetaZeroGridless(t *testing.T) {
 	objs := testObjects(120, 55)
 	for _, par := range []int{1, 4} {
-		sel := &Selector{Objects: objs, K: 15, Theta: 0, Metric: sim.Cosine{}, Parallelism: par}
-		res, err := sel.Run()
+		sel := &Selector{Config: engine.Config{K: 15, Theta: 0, Metric: sim.Cosine{}, Parallelism: par}, Objects: objs}
+		res, err := sel.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -18,9 +18,7 @@ import (
 	"sort"
 
 	"geosel/internal/geo"
-	"geosel/internal/geodata"
 	"geosel/internal/grid"
-	"geosel/internal/parallel"
 	"geosel/internal/sim"
 )
 
@@ -68,8 +66,8 @@ func (e *evaluator) enablePruning(m sim.Metric, eps float64, rowIDs []int) {
 	if !pk.Bounded || pk.Radius <= 0 {
 		return
 	}
-	nbr := buildNeighborIndex(e.objs, rowIDs, pk.Radius, e.pool)
-	if nbr == nil {
+	nbr := e.buildNeighborIndex(rowIDs, pk.Radius)
+	if e.err != nil || nbr == nil {
 		return
 	}
 	nbr.exact = pk.Exact
@@ -91,8 +89,10 @@ func (e *evaluator) enablePruning(m sim.Metric, eps float64, rowIDs []int) {
 // in parallel on the pool (one row per worker task), the neighbor list
 // of every row id. It returns nil — dense fallback — when the radius
 // spans the whole instance or the lists average more than half of |O|,
-// where pruning cannot win.
-func buildNeighborIndex(objs []geodata.Object, rowIDs []int, radius float64, pool *parallel.Pool) *neighborIndex {
+// where pruning cannot win. A cancellation mid-build latches e.err
+// (callers abort before the possibly-partial index is used).
+func (e *evaluator) buildNeighborIndex(rowIDs []int, radius float64) *neighborIndex {
+	objs := e.objs
 	n := len(objs)
 	bounds := geo.Rect{Min: objs[0].Loc, Max: objs[0].Loc}
 	for i := 1; i < n; i++ {
@@ -121,7 +121,7 @@ func buildNeighborIndex(objs []geodata.Object, rowIDs []int, radius float64, poo
 		g.Insert(i, objs[i].Loc)
 	}
 	rows := make([][]int32, len(rowIDs))
-	pool.Run(len(rowIDs), func(k int) {
+	e.run(len(rowIDs), func(k int) {
 		ids := g.Neighbors(objs[rowIDs[k]].Loc, radius)
 		sort.Ints(ids)
 		row := make([]int32, len(ids))
@@ -207,7 +207,7 @@ func (e *evaluator) absorbPruned(best []float64, sel int, row []int32) {
 	m := len(row)
 	nChunks := (m + evalChunk - 1) / evalChunk
 	if e.agg == AggSum || e.agg == AggAvg {
-		e.pool.Run(nChunks, func(chunk int) {
+		e.run(nChunks, func(chunk int) {
 			lo, hi := chunkBounds(chunk, m)
 			for k := lo; k < hi; k++ {
 				i := int(row[k])
@@ -216,7 +216,7 @@ func (e *evaluator) absorbPruned(best []float64, sel int, row []int32) {
 		})
 		return
 	}
-	e.pool.Run(nChunks, func(chunk int) {
+	e.run(nChunks, func(chunk int) {
 		lo, hi := chunkBounds(chunk, m)
 		for k := lo; k < hi; k++ {
 			i := int(row[k])

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"geosel/internal/engine"
 	"geosel/internal/geodata"
 	"geosel/internal/sim"
 )
@@ -26,11 +28,9 @@ func TestPrunedMatchesDenseMatrix(t *testing.T) {
 		for _, agg := range []Agg{AggMax, AggSum, AggAvg} {
 			for _, k := range []int{6, 25} {
 				for _, theta := range []float64{0, 0.04} {
-					dense := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta,
-						Metric: prunedEuclidean, Agg: agg, Parallelism: 1, DisablePrune: true})
+					dense := mustRun(t, &Selector{Config: engine.Config{K: k, Theta: theta, Metric: prunedEuclidean, Agg: agg, Parallelism: 1, DisablePrune: true}, Objects: objs})
 					for _, par := range []int{1, 4} {
-						pruned := mustRun(t, &Selector{Objects: objs, K: k, Theta: theta,
-							Metric: prunedEuclidean, Agg: agg, Parallelism: par})
+						pruned := mustRun(t, &Selector{Config: engine.Config{K: k, Theta: theta, Metric: prunedEuclidean, Agg: agg, Parallelism: par}, Objects: objs})
 						assertIdenticalResults(t, dense, pruned, "pruned-"+agg.String(), seed, k, theta, par)
 					}
 				}
@@ -61,8 +61,7 @@ func TestPrunedMatchesDenseWithForcedAndBounds(t *testing.T) {
 		bounds[i] = wsum // trivially valid upper bound (Sim <= 1)
 	}
 	build := func(par int, disable bool, withBounds bool) *Selector {
-		s := &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: prunedEuclidean,
-			Candidates: cands, Forced: forced, Parallelism: par, DisablePrune: disable}
+		s := &Selector{Config: engine.Config{K: 10, Theta: 0.03, Metric: prunedEuclidean, Parallelism: par, DisablePrune: disable}, Objects: objs, Candidates: cands, Forced: forced}
 		if withBounds {
 			s.InitialGains = bounds
 		}
@@ -81,10 +80,8 @@ func TestPrunedMatchesDenseWithForcedAndBounds(t *testing.T) {
 // per-iteration batches also dispatch through the pruned evaluator.
 func TestPrunedNaiveMatchesDense(t *testing.T) {
 	objs := testObjects(600, 53)
-	dense := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.05, Metric: prunedEuclidean,
-		Parallelism: 1, DisableLazy: true, DisablePrune: true})
-	pruned := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.05, Metric: prunedEuclidean,
-		Parallelism: 4, DisableLazy: true})
+	dense := mustRun(t, &Selector{Config: engine.Config{K: 8, Theta: 0.05, Metric: prunedEuclidean, Parallelism: 1, DisableLazy: true, DisablePrune: true}, Objects: objs})
+	pruned := mustRun(t, &Selector{Config: engine.Config{K: 8, Theta: 0.05, Metric: prunedEuclidean, Parallelism: 4, DisableLazy: true}, Objects: objs})
 	assertIdenticalResults(t, dense, pruned, "pruned-naive", 53, 8, 0.05, 4)
 }
 
@@ -94,9 +91,8 @@ func TestPrunedNaiveMatchesDense(t *testing.T) {
 func TestPrunedSpatialHybrid(t *testing.T) {
 	objs := testObjects(600, 67)
 	spatial := sim.Hybrid{Alpha: 0, Text: sim.Cosine{}, Spatial: prunedEuclidean}
-	dense := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: spatial,
-		Parallelism: 1, DisablePrune: true})
-	pruned := mustRun(t, &Selector{Objects: objs, K: 10, Theta: 0.03, Metric: spatial, Parallelism: 4})
+	dense := mustRun(t, &Selector{Config: engine.Config{K: 10, Theta: 0.03, Metric: spatial, Parallelism: 1, DisablePrune: true}, Objects: objs})
+	pruned := mustRun(t, &Selector{Config: engine.Config{K: 10, Theta: 0.03, Metric: spatial, Parallelism: 4}, Objects: objs})
 	assertIdenticalResults(t, dense, pruned, "pruned-hybrid", 67, 10, 0.03, 4)
 }
 
@@ -113,8 +109,7 @@ func TestPrunedGaussianEpsBound(t *testing.T) {
 		for i := range objs {
 			wsum += objs[i].Weight
 		}
-		res := mustRun(t, &Selector{Objects: objs, K: 15, Theta: 0.03, Metric: m,
-			PruneEps: eps, Parallelism: 1})
+		res := mustRun(t, &Selector{Config: engine.Config{K: 15, Theta: 0.03, Metric: m, PruneEps: eps, Parallelism: 1}, Objects: objs})
 		if len(res.Selected) == 0 {
 			t.Fatalf("seed %d: empty selection", seed)
 		}
@@ -137,8 +132,8 @@ func TestPrunedGaussianEpsBound(t *testing.T) {
 func TestPruneEpsValidation(t *testing.T) {
 	objs := testObjects(20, 5)
 	for _, eps := range []float64{-0.1, 1, 1.5} {
-		s := &Selector{Objects: objs, K: 3, Theta: 0.01, Metric: prunedEuclidean, PruneEps: eps}
-		if _, err := s.Run(); err == nil {
+		s := &Selector{Config: engine.Config{K: 3, Theta: 0.01, Metric: prunedEuclidean, PruneEps: eps}, Objects: objs}
+		if _, err := s.Run(context.Background()); err == nil {
 			t.Fatalf("PruneEps = %v should fail validation", eps)
 		}
 	}
@@ -163,11 +158,10 @@ func (d degenerateSupport) SupportRadius(eps float64) (float64, bool) { return d
 func TestPrunedDegenerateRadiusFallsBackDense(t *testing.T) {
 	objs := testObjects(600, 29)
 	base := sim.EuclideanProximity{MaxDist: 0.2}
-	dense := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.03, Metric: base,
-		Parallelism: 1, DisablePrune: true})
+	dense := mustRun(t, &Selector{Config: engine.Config{K: 8, Theta: 0.03, Metric: base, Parallelism: 1, DisablePrune: true}, Objects: objs})
 	for _, r := range []float64{0, -1, math.NaN()} {
 		m := degenerateSupport{base: base, r: r}
-		got := mustRun(t, &Selector{Objects: objs, K: 8, Theta: 0.03, Metric: m, Parallelism: 1})
+		got := mustRun(t, &Selector{Config: engine.Config{K: 8, Theta: 0.03, Metric: m, Parallelism: 1}, Objects: objs})
 		if len(got.Selected) != len(dense.Selected) {
 			t.Fatalf("r=%v: selected %d objects, dense selects %d", r, len(got.Selected), len(dense.Selected))
 		}

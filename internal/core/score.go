@@ -7,44 +7,23 @@
 package core
 
 import (
-	"fmt"
-
+	"geosel/internal/engine"
 	"geosel/internal/geodata"
 	"geosel/internal/parallel"
 	"geosel/internal/sim"
 )
 
-// Agg selects how Sim(o, S) aggregates the similarities between an
-// object and the selected set. The paper presents max (Equation 1) and
-// notes the solution "can also be extended to handle other aggregation
-// metrics, such as sum or avg"; all three are provided.
-type Agg int
+// Agg aliases the engine package's aggregation selector, which is the
+// canonical definition shared by every layer; the constants are
+// re-exported so core callers keep reading core.AggMax.
+type Agg = engine.Agg
 
-// Supported aggregation metrics.
+// Supported aggregation metrics (see engine.Agg).
 const (
-	// AggMax scores each object by its most similar selected object.
-	AggMax Agg = iota
-	// AggSum scores each object by the sum of similarities to the
-	// selected set. The resulting set function is modular.
-	AggSum
-	// AggAvg scores each object by the average similarity to the
-	// selected set.
-	AggAvg
+	AggMax = engine.AggMax
+	AggSum = engine.AggSum
+	AggAvg = engine.AggAvg
 )
-
-// String implements fmt.Stringer.
-func (a Agg) String() string {
-	switch a {
-	case AggMax:
-		return "max"
-	case AggSum:
-		return "sum"
-	case AggAvg:
-		return "avg"
-	default:
-		return fmt.Sprintf("Agg(%d)", int(a))
-	}
-}
 
 // SimToSet returns Sim(o, S) under the given aggregation: how well the
 // selected objects represent o (Equation 1 for AggMax).
@@ -82,6 +61,14 @@ const scoreParallelCutoff = 1 << 14
 // Score returns the representative score of selection sel over objs
 // (Equation 2): the weighted mean over all objects of Sim(o, S). Large
 // instances are evaluated on all CPUs via the parallel engine.
+//
+// Score is deliberately context-free: it is the ground-truth check the
+// rest of the system is measured against, it performs one bounded
+// reduction (no open-ended iteration to cancel), and threading a
+// context through its ~25 call sites would buy one chunk of latency at
+// most. Wrap it in a goroutine if a caller ever needs to abandon it.
+//
+//geolint:noctx
 func Score(objs []geodata.Object, sel []int, m sim.Metric, agg Agg) float64 {
 	if len(objs) == 0 {
 		return 0
@@ -91,7 +78,7 @@ func Score(objs []geodata.Object, sel []int, m sim.Metric, agg Agg) float64 {
 		pool = parallel.New(0)
 		defer pool.Close()
 	}
-	e := newEvaluator(objs, m, agg, pool)
+	e := newEvaluator(nil, objs, m, agg, pool)
 	// Exact-radius pruning only (eps = 0): Score is the ground truth the
 	// rest of the system is checked against, so it must stay bitwise
 	// equal to the dense evaluation.
@@ -123,6 +110,12 @@ func SatisfiesVisibility(objs []geodata.Object, sel []int, theta float64) bool {
 // per object in objs; objects in sel map to themselves when the metric
 // obeys the self-similarity axiom. With an empty selection every object
 // maps to -1.
+//
+// Like Score, Representatives is deliberately context-free: a bounded
+// ground-truth reduction whose call sites are overwhelmingly tests and
+// experiments.
+//
+//geolint:noctx
 func Representatives(objs []geodata.Object, sel []int, m sim.Metric) []int {
 	rep := make([]int, len(objs))
 	var pool *parallel.Pool
@@ -130,16 +123,17 @@ func Representatives(objs []geodata.Object, sel []int, m sim.Metric) []int {
 		pool = parallel.New(0)
 		defer pool.Close()
 	}
-	kern, _ := sim.CompileKernel(m, objs)
+	// The nil-ctx evaluator's run wrapper cannot fail, which keeps this
+	// loop free of an impossible error path.
+	e := newEvaluator(nil, objs, m, AggMax, pool)
 	n := len(objs)
-	nChunks := (n + evalChunk - 1) / evalChunk
-	pool.Run(nChunks, func(chunk int) {
+	e.run(e.nChunks, func(chunk int) {
 		lo, hi := chunkBounds(chunk, n)
 		for i := lo; i < hi; i++ {
 			rep[i] = -1
 			best := -1.0
 			for _, s := range sel {
-				if v := kern(i, s); v > best {
+				if v := e.kern(i, s); v > best {
 					best, rep[i] = v, s
 				}
 			}

@@ -1,0 +1,204 @@
+// Package engine defines the single configuration value shared by every
+// layer of the selection pipeline. core.Selector, isos.Config,
+// sampling.Config, geosel.Options and the HTTP server all embed
+// engine.Config, so a knob introduced here is immediately available —
+// and forwarded — at every layer; wrappers forward the whole embedded
+// value instead of hand-copying fields (the drift the knobplumb
+// analyzer polices). Validation of the shared fields lives here, in one
+// place.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"geosel/internal/sim"
+)
+
+// Agg selects how Sim(o, S) aggregates the similarities between an
+// object and the selected set. The paper presents max (Equation 1) and
+// notes the solution "can also be extended to handle other aggregation
+// metrics, such as sum or avg"; all three are provided.
+type Agg int
+
+// Supported aggregation metrics.
+const (
+	// AggMax scores each object by its most similar selected object.
+	AggMax Agg = iota
+	// AggSum scores each object by the sum of similarities to the
+	// selected set. The resulting set function is modular.
+	AggSum
+	// AggAvg scores each object by the average similarity to the
+	// selected set.
+	AggAvg
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case AggMax:
+		return "max"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Defaults applied by WithDefaults for the zero values of the session
+// and serving fields.
+const (
+	// DefaultMaxZoomOutScale is the zoom-out envelope bound used when
+	// MaxZoomOutScale is zero (the Table 2 default).
+	DefaultMaxZoomOutScale = 2.0
+	// DefaultSessionTTL is the idle lifetime of a server session when
+	// SessionTTL is zero.
+	DefaultSessionTTL = 15 * time.Minute
+	// DefaultMaxSessions is the server session-count bound when
+	// MaxSessions is zero.
+	DefaultMaxSessions = 1024
+)
+
+// Config is the unified engine configuration. Every layer of the
+// pipeline embeds it; each layer reads the fields that apply to it and
+// ignores the rest (core ignores ThetaFrac, a one-shot selection
+// ignores SessionTTL). The zero value of every field is a safe default.
+type Config struct {
+	// K is the number of objects to display, |S ∪ D|.
+	K int
+	// Theta is the absolute visibility threshold θ: any two displayed
+	// objects must be at distance >= Theta. Layers that work in region
+	// fractions (sessions, geosel.Select) derive it from ThetaFrac and
+	// override this field per region.
+	Theta float64
+	// ThetaFrac expresses θ as a fraction of the region side length
+	// (the paper uses 0.003 of the query region "by length", Table 2),
+	// so the on-screen separation is constant across zoom levels. Used
+	// by the session and facade layers; ignored by core, which consumes
+	// the resolved Theta.
+	ThetaFrac float64
+	// Metric is the similarity function Sim(·,·).
+	Metric sim.Metric
+	// Agg selects the aggregation for Sim(o, S); AggMax is the paper's
+	// default.
+	Agg Agg
+	// MinGain, when positive, stops the selection early once the best
+	// available (unnormalized) marginal gain falls below it — fewer
+	// pins, but only ones that still add representativeness.
+	MinGain float64
+
+	// Parallelism is the number of worker goroutines evaluating
+	// marginal gains and prefetch bound rows: 0 (or negative) selects
+	// runtime.NumCPU(), 1 runs fully serial. Every setting returns
+	// identical selections, scores and gains — all floating-point
+	// reductions combine fixed-size chunk partials in a fixed order —
+	// so the knob trades wall-clock time only. With Parallelism != 1
+	// the Metric must be safe for concurrent use; all metrics in
+	// internal/sim are.
+	Parallelism int
+	// PruneEps selects the support-radius pruning mode. The default 0
+	// permits exact pruning only: gain passes iterate grid neighbor
+	// lists instead of all of O whenever the metric's similarity is
+	// exactly zero beyond a finite radius, with bitwise-identical
+	// results guaranteed. A value in (0, 1) additionally admits metrics
+	// that certify an eps-support radius, trading an additive score
+	// error of at most PruneEps·Σω/|O| for the same neighbor-list
+	// speedup. Metrics without bounded support always evaluate densely.
+	PruneEps float64
+	// DisablePrune switches off support-radius pruning entirely, even
+	// for metrics with an exact radius. For ablation benchmarks.
+	DisablePrune bool
+	// DisableLazy switches off the lazy-forward strategy and recomputes
+	// every candidate's marginal gain in every iteration (the "naive
+	// idea" the paper rejects). For ablation benchmarks.
+	DisableLazy bool
+	// DisableGrid switches off the grid index for visibility-conflict
+	// removal and uses a linear scan instead. For ablation benchmarks.
+	DisableGrid bool
+
+	// MaxZoomOutScale bounds the zoom-out factor covered by prefetched
+	// zoom-out envelopes; zoom-outs beyond it fall back to a cold
+	// selection. 0 means DefaultMaxZoomOutScale.
+	MaxZoomOutScale float64
+	// TilesPerSide switches prefetching to tiled bounds with a T×T grid
+	// over the envelope (see prefetch.Tiled). 0 keeps the paper's plain
+	// Lemma 5.1–5.3 bounds.
+	TilesPerSide int
+	// AsyncPrefetch makes sessions compute prefetch bounds in a
+	// background goroutine launched after each navigation response,
+	// cancelled and superseded the moment the user navigates again.
+	// Selections are identical either way — prefetched bounds only seed
+	// the lazy heap with upper bounds that are re-evaluated exactly
+	// before being trusted — so the knob trades goroutines for
+	// response-path latency only. Off, prefetching happens only through
+	// explicit synchronous Prefetch calls, exactly as before.
+	AsyncPrefetch bool
+
+	// RequestTimeout, when positive, bounds the wall-clock time the
+	// server spends on one selection request; the request's context is
+	// cancelled at the deadline and the selection stops within one
+	// evaluation chunk. 0 means no deadline beyond the client's own.
+	RequestTimeout time.Duration
+	// SessionTTL is the idle lifetime of a server session: sessions
+	// untouched for longer are evicted and subsequent requests for them
+	// return 404. 0 means DefaultSessionTTL; negative disables TTL
+	// eviction.
+	SessionTTL time.Duration
+	// MaxSessions bounds the number of live server sessions; creating a
+	// session beyond it evicts the idlest one. 0 means
+	// DefaultMaxSessions.
+	MaxSessions int
+}
+
+// Validate checks the ranges shared by every layer. Layer-specific
+// requirements (a session needs K > 0, a selector needs in-range
+// candidate indices) stay with their layers.
+func (c Config) Validate() error {
+	if c.K < 0 {
+		return fmt.Errorf("engine: K = %d must be non-negative", c.K)
+	}
+	if c.Theta < 0 {
+		return fmt.Errorf("engine: Theta = %v must be non-negative", c.Theta)
+	}
+	if c.ThetaFrac < 0 {
+		return fmt.Errorf("engine: ThetaFrac = %v must be non-negative", c.ThetaFrac)
+	}
+	if c.Metric == nil {
+		return fmt.Errorf("engine: Metric must not be nil")
+	}
+	if c.PruneEps < 0 || c.PruneEps >= 1 {
+		return fmt.Errorf("engine: PruneEps = %v outside [0, 1)", c.PruneEps)
+	}
+	if c.MaxZoomOutScale != 0 && c.MaxZoomOutScale < 1 {
+		return fmt.Errorf("engine: MaxZoomOutScale must be >= 1, got %v", c.MaxZoomOutScale)
+	}
+	if c.TilesPerSide < 0 {
+		return fmt.Errorf("engine: TilesPerSide = %d must be non-negative", c.TilesPerSide)
+	}
+	if c.RequestTimeout < 0 {
+		return fmt.Errorf("engine: RequestTimeout = %v must be non-negative", c.RequestTimeout)
+	}
+	if c.MaxSessions < 0 {
+		return fmt.Errorf("engine: MaxSessions = %d must be non-negative", c.MaxSessions)
+	}
+	return nil
+}
+
+// WithDefaults returns the config with zero-valued session and serving
+// fields replaced by their documented defaults. Selection fields are
+// never touched: their zero values are meaningful (K = 0 selects
+// nothing, Parallelism = 0 selects all CPUs).
+func (c Config) WithDefaults() Config {
+	if c.MaxZoomOutScale == 0 {
+		c.MaxZoomOutScale = DefaultMaxZoomOutScale
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"geosel/internal/sim"
+)
+
+func validConfig() Config {
+	return Config{K: 10, ThetaFrac: 0.003, Metric: sim.Cosine{}}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// The serving fields' zero values are valid too.
+	cfg := validConfig()
+	cfg.Parallelism = 0
+	cfg.PruneEps = 0
+	cfg.RequestTimeout = 0
+	cfg.SessionTTL = 0
+	cfg.MaxSessions = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero-valued knobs rejected: %v", err)
+	}
+	// Negative SessionTTL is the documented "disable eviction" setting.
+	cfg.SessionTTL = -1
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("negative SessionTTL rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"negative K", func(c *Config) { c.K = -1 }, "K"},
+		{"negative Theta", func(c *Config) { c.Theta = -0.1 }, "Theta"},
+		{"negative ThetaFrac", func(c *Config) { c.ThetaFrac = -0.1 }, "ThetaFrac"},
+		{"nil Metric", func(c *Config) { c.Metric = nil }, "Metric"},
+		{"negative PruneEps", func(c *Config) { c.PruneEps = -0.1 }, "PruneEps"},
+		{"PruneEps at 1", func(c *Config) { c.PruneEps = 1 }, "PruneEps"},
+		{"MaxZoomOutScale below 1", func(c *Config) { c.MaxZoomOutScale = 0.5 }, "MaxZoomOutScale"},
+		{"negative TilesPerSide", func(c *Config) { c.TilesPerSide = -4 }, "TilesPerSide"},
+		{"negative RequestTimeout", func(c *Config) { c.RequestTimeout = -time.Second }, "RequestTimeout"},
+		{"negative MaxSessions", func(c *Config) { c.MaxSessions = -1 }, "MaxSessions"},
+	}
+	for _, tc := range cases {
+		cfg := validConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the field %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	got := validConfig().WithDefaults()
+	if got.MaxZoomOutScale != DefaultMaxZoomOutScale {
+		t.Errorf("MaxZoomOutScale = %v, want %v", got.MaxZoomOutScale, DefaultMaxZoomOutScale)
+	}
+	if got.SessionTTL != DefaultSessionTTL {
+		t.Errorf("SessionTTL = %v, want %v", got.SessionTTL, DefaultSessionTTL)
+	}
+	if got.MaxSessions != DefaultMaxSessions {
+		t.Errorf("MaxSessions = %d, want %d", got.MaxSessions, DefaultMaxSessions)
+	}
+	// Selection fields keep their meaningful zero values.
+	if got.K != 10 || got.Parallelism != 0 || got.PruneEps != 0 {
+		t.Errorf("selection fields altered: %+v", got)
+	}
+	// Explicit settings survive.
+	cfg := validConfig()
+	cfg.MaxZoomOutScale = 3
+	cfg.SessionTTL = -1
+	cfg.MaxSessions = 7
+	got = cfg.WithDefaults()
+	if got.MaxZoomOutScale != 3 || got.SessionTTL != -1 || got.MaxSessions != 7 {
+		t.Errorf("explicit settings overridden: %+v", got)
+	}
+}
+
+func TestAggString(t *testing.T) {
+	for a, want := range map[Agg]string{AggMax: "max", AggSum: "sum", AggAvg: "avg", Agg(9): "Agg(9)"} {
+		if got := a.String(); got != want {
+			t.Errorf("Agg(%d).String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"geosel/internal/core"
 	"geosel/internal/dataset"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
@@ -55,10 +57,9 @@ func (e *Env) Ablations(id string) (*Table, error) {
 		var res *core.Result
 		d := timeIt(func() {
 			// Timed single-threaded, matching the paper's measurement setup.
-			//geolint:serial,exact
-			s := &core.Selector{Objects: lazyObjs, K: DefaultK, Theta: theta,
-				Metric: m, DisableLazy: variant.disable}
-			res, err = s.Run()
+			s := &core.Selector{Config: engine.Config{K: DefaultK, Theta: theta,
+				Metric: m, DisableLazy: variant.disable}, Objects: lazyObjs}
+			res, err = s.Run(context.Background())
 		})
 		if err != nil {
 			return nil, err
@@ -72,10 +73,9 @@ func (e *Env) Ablations(id string) (*Table, error) {
 		disable bool
 	}{{"grid", false}, {"linear", true}} {
 		d := timeIt(func() {
-			//geolint:serial,exact
-			s := &core.Selector{Objects: objs, K: DefaultK, Theta: theta,
-				Metric: m, DisableGrid: variant.disable}
-			_, err = s.Run()
+			s := &core.Selector{Config: engine.Config{K: DefaultK, Theta: theta,
+				Metric: m, DisableGrid: variant.disable}, Objects: objs}
+			_, err = s.Run(context.Background())
 		})
 		if err != nil {
 			return nil, err
@@ -87,10 +87,9 @@ func (e *Env) Ablations(id string) (*Table, error) {
 	for _, bound := range []sampling.Bound{sampling.BoundSerfling, sampling.BoundHoeffding} {
 		var sres *sampling.Result
 		d := timeIt(func() {
-			//geolint:serial,exact
-			sres, err = sampling.Run(objs, sampling.Config{
-				K: DefaultK, Theta: theta, Metric: m,
-				Eps: DefaultEps, Delta: DefaultDelta, Bound: bound, Rng: rng,
+			sres, err = sampling.Run(context.Background(), objs, sampling.Config{
+				Config: engine.Config{K: DefaultK, Theta: theta, Metric: m},
+				Eps:    DefaultEps, Delta: DefaultDelta, Bound: bound, Rng: rng,
 			})
 		})
 		if err != nil {
@@ -161,21 +160,23 @@ func (e *Env) Ablations(id string) (*Table, error) {
 // and returns (response, prefetch cost).
 func (e *Env) isosTrialPrefetch(store *geodata.Store, region, inner geo.Rect, tiles int) (time.Duration, time.Duration, error) {
 	// Timed single-threaded, matching the paper's measurement setup.
-	//geolint:serial,exact
+	ctx := context.Background()
 	sess, err := isos.NewSession(store, isos.Config{
-		K: DefaultK, ThetaFrac: DefaultThetaFrac, Metric: Metric(), TilesPerSide: tiles,
+		Config: engine.Config{K: DefaultK, ThetaFrac: DefaultThetaFrac,
+			Metric: Metric(), TilesPerSide: tiles},
 	})
 	if err != nil {
 		return 0, 0, err
 	}
-	if _, err := sess.Start(region); err != nil {
+	defer sess.Close()
+	if _, err := sess.Start(ctx, region); err != nil {
 		return 0, 0, err
 	}
-	pf := timeIt(func() { err = sess.Prefetch(geo.OpZoomIn) })
+	pf := timeIt(func() { err = sess.Prefetch(ctx, geo.OpZoomIn) })
 	if err != nil {
 		return 0, 0, err
 	}
-	sel, err := sess.ZoomIn(inner)
+	sel, err := sess.ZoomIn(ctx, inner)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"geosel/internal/core"
 	"geosel/internal/dataset"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
@@ -52,8 +54,10 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 	// ablated in bench_test.go; it trades query-time tile sums for
 	// tighter bounds.)
 	// Timed single-threaded, matching the paper's measurement setup.
-	//geolint:serial,exact
-	cfg := isos.Config{K: k, ThetaFrac: thetaFrac, Metric: Metric(), MaxZoomOutScale: 2}
+	ctx := context.Background()
+	cfg := isos.Config{Config: engine.Config{
+		K: k, ThetaFrac: thetaFrac, Metric: Metric(), MaxZoomOutScale: 2,
+	}}
 	if op == geo.OpZoomOut && zoomScale > cfg.MaxZoomOutScale {
 		// Cover exactly the swept zoom-out scale: the prefetch envelope
 		// (and its O(|OA|²) cost) grows with the square of this bound.
@@ -63,11 +67,12 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 	if err != nil {
 		return 0, 0, err
 	}
-	if _, err = sess.Start(region); err != nil {
+	defer sess.Close()
+	if _, err = sess.Start(ctx, region); err != nil {
 		return 0, 0, err
 	}
 	if mode == modePrefetch {
-		prefetchCost = timeIt(func() { err = sess.Prefetch(op) })
+		prefetchCost = timeIt(func() { err = sess.Prefetch(ctx, op) })
 		if err != nil {
 			return 0, 0, err
 		}
@@ -93,9 +98,8 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 		objs := store.Collection().Subset(store.Region(target))
 		theta := thetaFrac * target.Width()
 		response = timeIt(func() {
-			//geolint:serial,exact
-			s := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: Metric()}
-			_, err = s.Run()
+			s := &core.Selector{Config: engine.Config{K: k, Theta: theta, Metric: Metric()}, Objects: objs}
+			_, err = s.Run(ctx)
 		})
 		return response, 0, err
 	}
@@ -103,11 +107,11 @@ func (e *Env) isosTrial(store *geodata.Store, mode isosMode, op geo.Op, region g
 	var sel *isos.Selection
 	switch op {
 	case geo.OpZoomIn:
-		sel, err = sess.ZoomIn(target)
+		sel, err = sess.ZoomIn(ctx, target)
 	case geo.OpZoomOut:
-		sel, err = sess.ZoomOut(target)
+		sel, err = sess.ZoomOut(ctx, target)
 	default:
-		sel, err = sess.Pan(target.Min.Sub(region.Min))
+		sel, err = sess.Pan(ctx, target.Min.Sub(region.Min))
 	}
 	if err != nil {
 		return 0, 0, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"geosel/internal/baselines"
 	"geosel/internal/core"
 	"geosel/internal/dataset"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/sampling"
@@ -35,19 +37,17 @@ func runMethod(method string, objs []geodata.Object, k int, theta float64, rng *
 		case baselines.NameGreedy:
 			var res *core.Result
 			// Timed single-threaded, matching the paper's measurement setup.
-			//geolint:serial,exact
-			s := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: m}
-			res, err = s.Run()
+			s := &core.Selector{Config: engine.Config{K: k, Theta: theta, Metric: m}, Objects: objs}
+			res, err = s.Run(context.Background())
 			if err == nil {
 				sel = res.Selected
 				out.score = res.Score
 			}
 		case baselines.NameSaSS:
 			var res *sampling.Result
-			//geolint:serial,exact
-			res, err = sampling.Run(objs, sampling.Config{
-				K: k, Theta: theta, Metric: m,
-				Eps: DefaultEps, Delta: DefaultDelta, Rng: rng,
+			res, err = sampling.Run(context.Background(), objs, sampling.Config{
+				Config: engine.Config{K: k, Theta: theta, Metric: m},
+				Eps:    DefaultEps, Delta: DefaultDelta, Rng: rng,
 			})
 			if err == nil {
 				sel = res.Selected
@@ -207,10 +207,9 @@ func (e *Env) SamplingSweep(id string, varyEps bool) (*Table, error) {
 			var err error
 			var sres *sampling.Result
 			accS += timeIt(func() {
-				//geolint:serial,exact
-				sres, err = sampling.Run(objs, sampling.Config{
-					K: DefaultK, Theta: theta, Metric: Metric(),
-					Eps: eps, Delta: delta, Rng: rng,
+				sres, err = sampling.Run(context.Background(), objs, sampling.Config{
+					Config: engine.Config{K: DefaultK, Theta: theta, Metric: Metric()},
+					Eps:    eps, Delta: delta, Rng: rng,
 				})
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"geosel/internal/baselines"
 	"geosel/internal/core"
 	"geosel/internal/dataset"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
@@ -90,9 +92,8 @@ func (e *Env) runStudyMethods(id string, objs []geodata.Object, k int, theta flo
 
 	// Methods run single-threaded; the study compares selections, not
 	// runtimes, and serial runs keep the fixtures deterministic.
-	//geolint:serial,exact
-	g := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: m}
-	res, err := g.Run()
+	g := &core.Selector{Config: engine.Config{K: k, Theta: theta, Metric: m}, Objects: objs}
+	res, err := g.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -212,30 +213,29 @@ func (e *Env) UserStudyISOS(id string) (*Table, error) {
 			// 0.7 of the window side keeps enough objects in view that
 			// k=30 does not trivially cover them all.
 			r := start.ScaleAroundCenter(0.7)
-			sel, err := s.ZoomIn(r)
+			sel, err := s.ZoomIn(context.Background(), r)
 			return r, sel, err
 		}},
 		{"zoom-out", func(s *isos.Session) (geo.Rect, *isos.Selection, error) {
 			r := start.ScaleAroundCenter(1.6)
-			sel, err := s.ZoomOut(r)
+			sel, err := s.ZoomOut(context.Background(), r)
 			return r, sel, err
 		}},
 		{"pan", func(s *isos.Session) (geo.Rect, *isos.Selection, error) {
 			d := geo.Pt(start.Width()*0.3, 0)
-			sel, err := s.Pan(d)
+			sel, err := s.Pan(context.Background(), d)
 			return start.Translate(d), sel, err
 		}},
 	}
 
 	for _, op := range ops {
-		//geolint:serial,exact
 		sess, err := isos.NewSession(store, isos.Config{
-			K: userStudyK, ThetaFrac: 0, Metric: m,
+			Config: engine.Config{K: userStudyK, ThetaFrac: 0, Metric: m},
 		})
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sess.Start(start); err != nil {
+		if _, err := sess.Start(context.Background(), start); err != nil {
 			return nil, err
 		}
 		newRegion, greedySel, err := op.next(sess)

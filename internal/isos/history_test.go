@@ -1,6 +1,7 @@
 package isos
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestBackRestoresState(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.25)
-	start, err := s.Start(region)
+	start, err := s.Start(context.Background(), region)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestBackRestoresState(t *testing.T) {
 		t.Error("Back with no history should fail")
 	}
 
-	if _, err := s.ZoomIn(region.ScaleAroundCenter(0.5)); err != nil {
+	if _, err := s.ZoomIn(context.Background(), region.ScaleAroundCenter(0.5)); err != nil {
 		t.Fatal(err)
 	}
 	if !s.CanBack() {
@@ -62,20 +63,20 @@ func TestBackThroughSequence(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
 	var regions []geo.Rect
 	regions = append(regions, s.Viewport().Region)
-	if _, err := s.ZoomIn(region.ScaleAroundCenter(0.5)); err != nil {
+	if _, err := s.ZoomIn(context.Background(), region.ScaleAroundCenter(0.5)); err != nil {
 		t.Fatal(err)
 	}
 	regions = append(regions, s.Viewport().Region)
-	if _, err := s.Pan(geo.Pt(0.02, 0)); err != nil {
+	if _, err := s.Pan(context.Background(), geo.Pt(0.02, 0)); err != nil {
 		t.Fatal(err)
 	}
 	regions = append(regions, s.Viewport().Region)
-	if _, err := s.ZoomOut(s.Viewport().Region.ScaleAroundCenter(1.5)); err != nil {
+	if _, err := s.ZoomOut(context.Background(), s.Viewport().Region.ScaleAroundCenter(1.5)); err != nil {
 		t.Fatal(err)
 	}
 	// Walk all the way back.
@@ -99,13 +100,13 @@ func TestStartClearsHistory(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ZoomIn(region.ScaleAroundCenter(0.5)); err != nil {
+	if _, err := s.ZoomIn(context.Background(), region.ScaleAroundCenter(0.5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
 	if s.CanBack() {
@@ -120,13 +121,13 @@ func TestHistoryBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Start(geo.RectAround(geo.Pt(0.5, 0.5), 0.2)); err != nil {
+	if _, err := s.Start(context.Background(), geo.RectAround(geo.Pt(0.5, 0.5), 0.2)); err != nil {
 		t.Fatal(err)
 	}
 	// Alternate tiny pans to build up far more than maxHistory entries.
 	d := geo.Pt(0.001, 0)
 	for i := 0; i < maxHistory+20; i++ {
-		if _, err := s.Pan(d); err != nil {
+		if _, err := s.Pan(context.Background(), d); err != nil {
 			t.Fatal(err)
 		}
 		d.X = -d.X

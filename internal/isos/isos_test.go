@@ -1,6 +1,8 @@
 package isos
 
 import (
+	"context"
+	"geosel/internal/engine"
 	"math"
 	"math/rand"
 	"sort"
@@ -34,7 +36,7 @@ func testConfig(t *testing.T) Config {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Config{K: 10, ThetaFrac: 0.03, Metric: m}
+	return Config{Config: engine.Config{K: 10, ThetaFrac: 0.03, Metric: m}}
 }
 
 func locOf(s *geodata.Store) func(int) geo.Point {
@@ -75,16 +77,16 @@ func TestSessionRequiresStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ZoomIn(geo.RectAround(geo.Pt(0.5, 0.5), 0.1)); err == nil {
+	if _, err := s.ZoomIn(context.Background(), geo.RectAround(geo.Pt(0.5, 0.5), 0.1)); err == nil {
 		t.Error("zoom before start should fail")
 	}
-	if _, err := s.Pan(geo.Pt(0.1, 0)); err == nil {
+	if _, err := s.Pan(context.Background(), geo.Pt(0.1, 0)); err == nil {
 		t.Error("pan before start should fail")
 	}
-	if err := s.Prefetch(); err == nil {
+	if err := s.Prefetch(context.Background()); err == nil {
 		t.Error("prefetch before start should fail")
 	}
-	if _, err := s.Start(geo.Rect{Min: geo.Pt(0.5, 0.5), Max: geo.Pt(0.4, 0.4)}); err == nil {
+	if _, err := s.Start(context.Background(), geo.Rect{Min: geo.Pt(0.5, 0.5), Max: geo.Pt(0.4, 0.4)}); err == nil {
 		t.Error("invalid start region should fail")
 	}
 }
@@ -97,7 +99,7 @@ func TestStartSelectsAndSatisfiesVisibility(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.25)
-	sel, err := s.Start(region)
+	sel, err := s.Start(context.Background(), region)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,12 +133,12 @@ func TestZoomInConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.3)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
 	oldVisible := s.Visible()
 	inner := geo.RectAround(geo.Pt(0.5, 0.5), 0.15)
-	sel, err := s.ZoomIn(inner)
+	sel, err := s.ZoomIn(context.Background(), inner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +167,12 @@ func TestZoomOutConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.1)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
 	oldVisible := s.Visible()
 	outer := geo.RectAround(geo.Pt(0.5, 0.5), 0.25)
-	sel, err := s.ZoomOut(outer)
+	sel, err := s.ZoomOut(context.Background(), outer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,12 +191,12 @@ func TestPanConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.4, 0.4), 0.15)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
 	oldVisible := s.Visible()
 	delta := geo.Pt(0.1, 0.05)
-	sel, err := s.Pan(delta)
+	sel, err := s.Pan(context.Background(), delta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +217,7 @@ func TestRandomWalkStaysConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(8))
@@ -231,16 +233,16 @@ func TestRandomWalkStaysConsistent(t *testing.T) {
 		case 0:
 			op = geo.OpZoomIn
 			inner := oldRegion.ScaleAroundCenter(0.5 + rng.Float64()*0.3)
-			newSel, err = s.ZoomIn(inner)
+			newSel, err = s.ZoomIn(context.Background(), inner)
 		case 1:
 			op = geo.OpZoomOut
 			outer := oldRegion.ScaleAroundCenter(1.3 + rng.Float64())
-			newSel, err = s.ZoomOut(outer)
+			newSel, err = s.ZoomOut(context.Background(), outer)
 		default:
 			op = geo.OpPan
 			d := geo.Pt((rng.Float64()-0.5)*oldRegion.Width(),
 				(rng.Float64()-0.5)*oldRegion.Height())
-			newSel, err = s.Pan(d)
+			newSel, err = s.Pan(context.Background(), d)
 		}
 		if err != nil {
 			t.Fatalf("step %d (%v): %v", step, op, err)
@@ -273,22 +275,22 @@ func TestPrefetchedSelectionsMatchExact(t *testing.T) {
 				t.Fatal(err)
 			}
 			region := geo.RectAround(geo.Pt(0.5, 0.5), 0.15)
-			if _, err := s.Start(region); err != nil {
+			if _, err := s.Start(context.Background(), region); err != nil {
 				t.Fatal(err)
 			}
 			if usePrefetch {
-				if err := s.Prefetch(op); err != nil {
+				if err := s.Prefetch(context.Background(), op); err != nil {
 					t.Fatal(err)
 				}
 			}
 			var sel *Selection
 			switch op {
 			case geo.OpZoomIn:
-				sel, err = s.ZoomIn(region.ScaleAroundCenter(0.5))
+				sel, err = s.ZoomIn(context.Background(), region.ScaleAroundCenter(0.5))
 			case geo.OpZoomOut:
-				sel, err = s.ZoomOut(region.ScaleAroundCenter(2))
+				sel, err = s.ZoomOut(context.Background(), region.ScaleAroundCenter(2))
 			default:
-				sel, err = s.Pan(geo.Pt(0.07, -0.03))
+				sel, err = s.Pan(context.Background(), geo.Pt(0.07, -0.03))
 			}
 			if err != nil {
 				t.Fatal(err)
@@ -355,21 +357,21 @@ func TestPrefetchReducesEvals(t *testing.T) {
 	run := func(tiles int, usePrefetch bool) int {
 		// Parallelism 1: batched stale re-evaluation can inflate Evals on
 		// multi-core runners, and this test compares exact eval counts.
-		cfg := Config{K: 10, ThetaFrac: 0.003, Metric: sim.Cosine{}, TilesPerSide: tiles, Parallelism: 1}
+		cfg := Config{Config: engine.Config{K: 10, ThetaFrac: 0.003, Metric: sim.Cosine{}, TilesPerSide: tiles, Parallelism: 1}}
 		s, err := NewSession(store, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
-		if _, err := s.Start(region); err != nil {
+		if _, err := s.Start(context.Background(), region); err != nil {
 			t.Fatal(err)
 		}
 		if usePrefetch {
-			if err := s.Prefetch(geo.OpZoomIn); err != nil {
+			if err := s.Prefetch(context.Background(), geo.OpZoomIn); err != nil {
 				t.Fatal(err)
 			}
 		}
-		sel, err := s.ZoomIn(region.ScaleAroundCenter(0.5))
+		sel, err := s.ZoomIn(context.Background(), region.ScaleAroundCenter(0.5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -406,13 +408,13 @@ func TestPrefetchInvalidatedAfterOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Prefetch(); err != nil {
+	if err := s.Prefetch(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	sel1, err := s.ZoomIn(region.ScaleAroundCenter(0.5))
+	sel1, err := s.ZoomIn(context.Background(), region.ScaleAroundCenter(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +422,7 @@ func TestPrefetchInvalidatedAfterOp(t *testing.T) {
 		t.Fatal("first op should use prefetch")
 	}
 	// Without a fresh Prefetch the next op must run cold.
-	sel2, err := s.ZoomOut(s.Viewport().Region.ScaleAroundCenter(2))
+	sel2, err := s.ZoomOut(context.Background(), s.Viewport().Region.ScaleAroundCenter(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -554,7 +556,7 @@ func TestSessionScoreMatchesCore(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.25)
-	sel, err := s.Start(region)
+	sel, err := s.Start(context.Background(), region)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -587,13 +589,13 @@ func TestPrefetchFallbackBeyondEnvelope(t *testing.T) {
 		t.Fatal(err)
 	}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.05)
-	if _, err := s.Start(region); err != nil {
+	if _, err := s.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Prefetch(geo.OpZoomOut); err != nil {
+	if err := s.Prefetch(context.Background(), geo.OpZoomOut); err != nil {
 		t.Fatal(err)
 	}
-	sel, err := s.ZoomOut(region.ScaleAroundCenter(4))
+	sel, err := s.ZoomOut(context.Background(), region.ScaleAroundCenter(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -605,13 +607,13 @@ func TestPrefetchFallbackBeyondEnvelope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.Start(region); err != nil {
+	if _, err := s2.Start(context.Background(), region); err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.Prefetch(geo.OpZoomOut); err != nil {
+	if err := s2.Prefetch(context.Background(), geo.OpZoomOut); err != nil {
 		t.Fatal(err)
 	}
-	sel2, err := s2.ZoomOut(region.ScaleAroundCenter(1.8))
+	sel2, err := s2.ZoomOut(context.Background(), region.ScaleAroundCenter(1.8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -626,10 +628,10 @@ func TestPrefetchUnknownOpIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Start(geo.RectAround(geo.Pt(0.5, 0.5), 0.2)); err != nil {
+	if _, err := s.Start(context.Background(), geo.RectAround(geo.Pt(0.5, 0.5), 0.2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Prefetch(geo.Op(42)); err != nil {
+	if err := s.Prefetch(context.Background(), geo.Op(42)); err != nil {
 		t.Fatalf("unknown op should be ignored, got %v", err)
 	}
 }

@@ -1,72 +1,105 @@
 package isos
 
 import (
+	"context"
+
 	"geosel/internal/geo"
 	"geosel/internal/prefetch"
 )
 
 // prefetchState caches the per-operation upper-bound data computed by
-// Prefetch; it is invalidated after every navigation operation.
+// Prefetch or the background prefetch goroutine; it is invalidated
+// after every navigation operation. Once installed on the session it is
+// read-only.
 type prefetchState struct {
 	plain map[geo.Op]map[int]float64
 	tiled map[geo.Op]*prefetch.Tiled
 	env   map[geo.Op]geo.Rect
 }
 
-// Prefetch precomputes marginal-gain upper bounds for the given
-// navigation operations (all three when none are specified) from the
-// current viewport, per Section 5. Call it after a selection while the
-// user is inspecting the view; the next matching operation seeds the
-// greedy heap from the cached bounds instead of paying the exact
-// O(|O|·|G|) initialization.
+func newPrefetchState() *prefetchState {
+	return &prefetchState{
+		plain: make(map[geo.Op]map[int]float64),
+		tiled: make(map[geo.Op]*prefetch.Tiled),
+		env:   make(map[geo.Op]geo.Rect),
+	}
+}
+
+// Prefetch synchronously precomputes marginal-gain upper bounds for the
+// given navigation operations (all three when none are specified) from
+// the current viewport, per Section 5. Call it after a selection while
+// the user is inspecting the view; the next matching operation seeds
+// the greedy heap from the cached bounds instead of paying the exact
+// O(|O|·|G|) initialization. With Config.AsyncPrefetch the session
+// already does this on a background goroutine after every navigation —
+// an explicit Prefetch then first joins that background work (adopting
+// its result if it completed) and computes the requested ops
+// synchronously on top.
+//
+// ctx cancels the computation cooperatively; bounds for operations
+// completed before the cancellation are kept (they remain valid), the
+// interrupted operation's partial rows are discarded.
 //
 // With Config.TilesPerSide > 0 the bounds are tiled (see
 // prefetch.Tiled): tighter than the plain Lemma 5.1–5.3 sums at the
 // same prefetch cost, which lets lazy forward prune far more candidates
 // in the first iteration.
-func (s *Session) Prefetch(ops ...geo.Op) error {
+func (s *Session) Prefetch(ctx context.Context, ops ...geo.Op) error {
 	if err := s.requireStarted(); err != nil {
 		return err
 	}
+	s.joinPrefetch()
 	if len(ops) == 0 {
 		ops = []geo.Op{geo.OpZoomIn, geo.OpZoomOut, geo.OpPan}
 	}
 	if s.prefetch == nil {
-		s.prefetch = &prefetchState{
-			plain: make(map[geo.Op]map[int]float64),
-			tiled: make(map[geo.Op]*prefetch.Tiled),
-			env:   make(map[geo.Op]geo.Rect),
-		}
+		s.prefetch = newPrefetchState()
 	}
+	return s.computePrefetch(ctx, s.prefetch, s.viewport, ops)
+}
+
+// computePrefetch fills st with bound data for ops as seen from vp. It
+// reads only immutable session state (store, cfg) plus its explicit
+// arguments, so the background prefetch goroutine can run it
+// concurrently with the owner's navigation calls on a privately-owned
+// st and a captured viewport value.
+func (s *Session) computePrefetch(ctx context.Context, st *prefetchState, vp geo.Viewport, ops []geo.Op) error {
 	for _, op := range ops {
 		var env geo.Rect
 		switch op {
 		case geo.OpZoomIn:
-			env = s.viewport.Region
+			env = vp.Region
 		case geo.OpZoomOut:
-			env = s.viewport.ZoomOutEnvelope(s.cfg.MaxZoomOutScale)
+			env = vp.ZoomOutEnvelope(s.cfg.MaxZoomOutScale)
 		case geo.OpPan:
-			env = s.viewport.PanEnvelope()
+			env = vp.PanEnvelope()
 		default:
 			continue
 		}
-		s.prefetch.env[op] = env
 		if s.cfg.TilesPerSide > 0 {
-			t, err := prefetch.NewTiledWorkers(s.store.Collection(), s.store.Region(env), env, s.cfg.TilesPerSide, s.cfg.Metric, s.cfg.Parallelism)
+			t, err := prefetch.NewTiled(ctx, s.store.Collection(), s.store.Region(env), env, s.cfg.TilesPerSide, s.cfg.Metric, s.cfg.Parallelism)
 			if err != nil {
 				return err
 			}
-			s.prefetch.tiled[op] = t
+			st.tiled[op] = t
+			st.env[op] = env
 			continue
 		}
+		var m map[int]float64
+		var err error
 		switch op {
 		case geo.OpZoomIn:
-			s.prefetch.plain[op] = prefetch.ZoomInBoundsWorkers(s.store, s.viewport.Region, s.cfg.Metric, s.cfg.Parallelism)
+			m, err = prefetch.ZoomInBounds(ctx, s.store, vp.Region, s.cfg.Metric, s.cfg.Parallelism)
 		case geo.OpZoomOut:
-			s.prefetch.plain[op] = prefetch.ZoomOutBoundsWorkers(s.store, s.viewport, s.cfg.MaxZoomOutScale, s.cfg.Metric, s.cfg.Parallelism)
+			m, err = prefetch.ZoomOutBounds(ctx, s.store, vp, s.cfg.MaxZoomOutScale, s.cfg.Metric, s.cfg.Parallelism)
 		case geo.OpPan:
-			s.prefetch.plain[op] = prefetch.PanBoundsWorkers(s.store, s.viewport, s.cfg.Metric, s.cfg.Parallelism)
+			m, err = prefetch.PanBounds(ctx, s.store, vp, s.cfg.Metric, s.cfg.Parallelism)
 		}
+		if err != nil {
+			return err
+		}
+		st.plain[op] = m
+		st.env[op] = env
 	}
 	return nil
 }

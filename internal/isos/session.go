@@ -1,52 +1,39 @@
 package isos
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"geosel/internal/core"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/invariant"
 	"geosel/internal/sim"
 )
 
-// Config parameterizes a Session.
+// Config parameterizes a Session. The shared engine knobs — K,
+// ThetaFrac, Metric, Agg, Parallelism, PruneEps, MaxZoomOutScale,
+// TilesPerSide, AsyncPrefetch — live in the embedded engine.Config (see
+// that package for per-field semantics) and are forwarded wholesale to
+// every selection the session runs; the fields declared here are
+// session-specific.
+//
+// Of particular session relevance in engine.Config:
+//
+//   - ThetaFrac expresses the visibility threshold θ as a fraction of
+//     the viewport side length, so the on-screen separation is constant
+//     across zoom levels.
+//   - PruneEps tunes core's support-radius pruning; prefetch bound rows
+//     always prune exactly, regardless of this knob, so the Lemma
+//     5.1–5.3 domination contract is never eps-weakened.
+//   - AsyncPrefetch launches the background prefetch goroutine after
+//     every navigation (see Prefetch for the sync API and async.go for
+//     the join protocol).
 type Config struct {
-	// K is the number of objects displayed per viewport.
-	K int
-	// ThetaFrac expresses the visibility threshold θ as a fraction of
-	// the viewport side length (the paper uses 0.003 of the query
-	// region "by length", Table 2), so the on-screen separation is
-	// constant across zoom levels.
-	ThetaFrac float64
-	// Metric is the similarity function.
-	Metric sim.Metric
-	// Agg is the aggregation for Sim(o, S).
-	Agg core.Agg
-	// MaxZoomOutScale bounds the zoom-out factor covered by prefetched
-	// zoom-out envelopes; zoom-outs beyond it fall back to a cold
-	// selection. 0 means the default of 2 (the Table 2 default; the
-	// envelope's object count — and hence the prefetch cost — grows
-	// with the square of this scale).
-	MaxZoomOutScale float64
-	// TilesPerSide switches prefetching to tiled bounds with a T×T grid
-	// over the envelope (see prefetch.Tiled). 0 keeps the paper's plain
-	// Lemma 5.1–5.3 bounds.
-	TilesPerSide int
-	// Parallelism is the number of worker goroutines used for
-	// marginal-gain evaluation and prefetch bound computation: 0 picks
-	// runtime.NumCPU(), 1 runs serial. Selections are identical for
-	// every setting; with Parallelism != 1 the Metric must be safe for
-	// concurrent use (all built-in metrics are).
-	Parallelism int
-	// PruneEps is the support-radius pruning mode of core.Selector:
-	// 0 (default) admits exact-only pruning with bitwise-identical
-	// selections, a value in (0, 1) additionally admits eps-support
-	// metrics at a bounded additive score error. Prefetch bound rows
-	// always prune exactly, regardless of this knob, so the Lemma
-	// 5.1–5.3 domination contract is never eps-weakened.
-	PruneEps float64
+	engine.Config
+
 	// Filter optionally restricts the session to objects satisfying the
 	// predicate — the paper's "filtering condition" scenario (e.g. only
 	// objects whose text mentions "restaurant"). The representative
@@ -77,11 +64,22 @@ type Selection struct {
 	Prefetched bool
 }
 
-// Session is an interactive exploration of one dataset. It is not safe
-// for concurrent use; a session models a single user's map.
+// Session is an interactive exploration of one dataset. A session
+// models a single user's map: its methods must not be called
+// concurrently with each other. The one exception is Close, which may
+// be called from any goroutine (a server evicting idle sessions) and
+// only cancels background work. The background prefetch goroutine
+// (Config.AsyncPrefetch) is managed internally and synchronized through
+// the join protocol in async.go — it never touches mutable session
+// state.
 type Session struct {
 	store *geodata.Store
 	cfg   Config
+
+	// base is the session-lifetime context: background prefetch
+	// goroutines derive from it, so Close cancels them all.
+	base       context.Context
+	baseCancel context.CancelFunc
 
 	viewport geo.Viewport
 	visible  []int // collection positions currently displayed
@@ -89,6 +87,9 @@ type Session struct {
 	history  []histEntry
 
 	prefetch *prefetchState
+	// job is the in-flight background prefetch computation, nil when
+	// none is running; see async.go.
+	job *prefetchJob
 }
 
 // NewSession validates the configuration and returns a session over the
@@ -97,26 +98,24 @@ func NewSession(store *geodata.Store, cfg Config) (*Session, error) {
 	if store == nil {
 		return nil, fmt.Errorf("isos: nil store")
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("isos: K must be positive, got %d", cfg.K)
 	}
-	if cfg.ThetaFrac < 0 {
-		return nil, fmt.Errorf("isos: ThetaFrac must be non-negative, got %v", cfg.ThetaFrac)
-	}
-	if cfg.Metric == nil {
-		return nil, fmt.Errorf("isos: Metric must not be nil")
-	}
-	if cfg.PruneEps < 0 || cfg.PruneEps >= 1 {
-		return nil, fmt.Errorf("isos: PruneEps = %v outside [0, 1)", cfg.PruneEps)
-	}
-	if cfg.MaxZoomOutScale == 0 {
-		cfg.MaxZoomOutScale = 2
-	}
-	if cfg.MaxZoomOutScale < 1 {
-		return nil, fmt.Errorf("isos: MaxZoomOutScale must be >= 1, got %v", cfg.MaxZoomOutScale)
-	}
-	return &Session{store: store, cfg: cfg}, nil
+	cfg.Config = cfg.Config.WithDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	return &Session{store: store, cfg: cfg, base: base, baseCancel: cancel}, nil
 }
+
+// Close cancels the session's background prefetch work. It is safe to
+// call from any goroutine — including concurrently with the owner's
+// navigation calls — because it only cancels the session-lifetime
+// context and touches no other session state. A closed session can
+// still navigate (navigation runs under the caller's context); it just
+// never gains prefetched bounds from background work again.
+func (s *Session) Close() { s.baseCancel() }
 
 // Viewport returns the current viewport; meaningful after Start.
 func (s *Session) Viewport() geo.Viewport { return s.viewport }
@@ -135,29 +134,37 @@ func (s *Session) theta(region geo.Rect) float64 {
 }
 
 // Start begins the session at the given region with an unconstrained
-// sos selection.
-func (s *Session) Start(region geo.Rect) (*Selection, error) {
+// sos selection. ctx cancels the selection cooperatively; on error the
+// session keeps its previous state and stays usable.
+func (s *Session) Start(ctx context.Context, region geo.Rect) (*Selection, error) {
 	if !region.Valid() || region.Width() <= 0 || region.Height() <= 0 {
 		return nil, fmt.Errorf("isos: invalid start region %v", region)
 	}
+	s.joinPrefetch()
 	world := region
 	if b, ok := s.store.Bounds(); ok {
 		world = b
 	}
-	s.viewport = geo.NewViewport(world, region)
-	sel, err := s.selectIn(region, Derivation{G: nil}, true, nil)
+	vp := geo.NewViewport(world, region)
+	prevVP := s.viewport
+	s.viewport = vp
+	sel, err := s.selectIn(ctx, region, Derivation{G: nil}, true, nil)
 	if err != nil {
+		s.viewport = prevVP
 		return nil, err
 	}
 	s.started = true
 	s.prefetch = nil
 	s.history = nil
+	s.spawnPrefetch()
 	return sel, nil
 }
 
 // ZoomIn navigates to inner (which must lie inside the current region)
 // and selects objects for it under the zooming consistency constraint.
-func (s *Session) ZoomIn(inner geo.Rect) (*Selection, error) {
+// ctx cancels the selection cooperatively; on error the session keeps
+// its previous state and stays usable.
+func (s *Session) ZoomIn(ctx context.Context, inner geo.Rect) (*Selection, error) {
 	if err := s.requireStarted(); err != nil {
 		return nil, err
 	}
@@ -165,11 +172,12 @@ func (s *Session) ZoomIn(inner geo.Rect) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.joinPrefetch()
 	objs := s.regionObjects(inner)
 	d := DeriveZoomIn(s.visible, objs, inner, s.locate)
 	bounds := s.prefetchBounds(geo.OpZoomIn, inner, d.G)
 	prev := histEntry{viewport: s.viewport, visible: append([]int(nil), s.visible...)}
-	sel, err := s.selectIn(inner, d, false, bounds)
+	sel, err := s.selectIn(ctx, inner, d, false, bounds)
 	if err != nil {
 		return nil, err
 	}
@@ -180,11 +188,14 @@ func (s *Session) ZoomIn(inner geo.Rect) (*Selection, error) {
 	s.trimHistory()
 	s.viewport = nv
 	s.prefetch = nil
+	s.spawnPrefetch()
 	return sel, nil
 }
 
 // ZoomOut navigates to outer (which must contain the current region).
-func (s *Session) ZoomOut(outer geo.Rect) (*Selection, error) {
+// ctx cancels the selection cooperatively; on error the session keeps
+// its previous state and stays usable.
+func (s *Session) ZoomOut(ctx context.Context, outer geo.Rect) (*Selection, error) {
 	if err := s.requireStarted(); err != nil {
 		return nil, err
 	}
@@ -193,11 +204,12 @@ func (s *Session) ZoomOut(outer geo.Rect) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.joinPrefetch()
 	objs := s.regionObjects(outer)
 	d := DeriveZoomOut(s.visible, objs, old, s.locate)
 	bounds := s.prefetchBounds(geo.OpZoomOut, outer, d.G)
 	prev := histEntry{viewport: s.viewport, visible: append([]int(nil), s.visible...)}
-	sel, err := s.selectIn(outer, d, false, bounds)
+	sel, err := s.selectIn(ctx, outer, d, false, bounds)
 	if err != nil {
 		return nil, err
 	}
@@ -208,11 +220,14 @@ func (s *Session) ZoomOut(outer geo.Rect) (*Selection, error) {
 	s.trimHistory()
 	s.viewport = nv
 	s.prefetch = nil
+	s.spawnPrefetch()
 	return sel, nil
 }
 
-// Pan moves the viewport by delta (the new region must overlap the old).
-func (s *Session) Pan(delta geo.Point) (*Selection, error) {
+// Pan moves the viewport by delta (the new region must overlap the
+// old). ctx cancels the selection cooperatively; on error the session
+// keeps its previous state and stays usable.
+func (s *Session) Pan(ctx context.Context, delta geo.Point) (*Selection, error) {
 	if err := s.requireStarted(); err != nil {
 		return nil, err
 	}
@@ -221,11 +236,12 @@ func (s *Session) Pan(delta geo.Point) (*Selection, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.joinPrefetch()
 	objs := s.regionObjects(nv.Region)
 	d := DerivePan(s.visible, objs, old, s.locate)
 	bounds := s.prefetchBounds(geo.OpPan, nv.Region, d.G)
 	prev := histEntry{viewport: s.viewport, visible: append([]int(nil), s.visible...)}
-	sel, err := s.selectIn(nv.Region, d, false, bounds)
+	sel, err := s.selectIn(ctx, nv.Region, d, false, bounds)
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +252,7 @@ func (s *Session) Pan(delta geo.Point) (*Selection, error) {
 	s.trimHistory()
 	s.viewport = nv
 	s.prefetch = nil
+	s.spawnPrefetch()
 	return sel, nil
 }
 
@@ -299,8 +316,8 @@ func assertBoundsDominate(objs []geodata.Object, cands []int, gains []float64, m
 // selectIn runs the constrained greedy for region. When unconstrained
 // is true, all region objects are candidates (the plain sos problem).
 // bounds, if non-nil, maps collection positions in G to prefetched
-// upper bounds.
-func (s *Session) selectIn(region geo.Rect, d Derivation, unconstrained bool, bounds map[int]float64) (*Selection, error) {
+// upper bounds. The session's visible set is updated only on success.
+func (s *Session) selectIn(ctx context.Context, region geo.Rect, d Derivation, unconstrained bool, bounds map[int]float64) (*Selection, error) {
 	regionPos := s.regionObjects(region)
 	col := s.store.Collection()
 	objs := col.Subset(regionPos)
@@ -311,14 +328,13 @@ func (s *Session) selectIn(region geo.Rect, d Derivation, unconstrained bool, bo
 		subsetOf[p] = i
 	}
 
+	// Forward the whole engine config; only Theta needs resolving from
+	// the viewport-relative ThetaFrac to an absolute distance.
+	cfg := s.cfg.Config
+	cfg.Theta = s.theta(region)
 	selector := &core.Selector{
-		Objects:     objs,
-		K:           s.cfg.K,
-		Theta:       s.theta(region),
-		Metric:      s.cfg.Metric,
-		Agg:         s.cfg.Agg,
-		Parallelism: s.cfg.Parallelism,
-		PruneEps:    s.cfg.PruneEps,
+		Config:  cfg,
+		Objects: objs,
 	}
 	forcedCount, candCount := 0, len(regionPos)
 	if !unconstrained {
@@ -358,7 +374,7 @@ func (s *Session) selectIn(region geo.Rect, d Derivation, unconstrained bool, bo
 	}
 
 	start := time.Now()
-	res, err := selector.Run()
+	res, err := selector.Run(ctx)
 	if err != nil {
 		return nil, err
 	}

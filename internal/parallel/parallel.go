@@ -11,9 +11,16 @@
 // counter, so uneven per-index work (sparse term vectors of varying
 // length, candidates with different conflict neighborhoods) balances
 // automatically across workers.
+//
+// Cancellation is cooperative at index granularity: Run checks the
+// context before handing out each loop index, so a cancelled context
+// stops the loop within one in-flight index per worker and Run reports
+// ctx.Err(). Completed fn calls are never rolled back — callers must
+// treat partially-filled outputs as garbage once Run returns an error.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,11 +40,13 @@ type Pool struct {
 	tasks   chan *task
 }
 
-// task is one Run invocation: a loop body, the shared index cursor, and
-// a wait group tracking the helpers working on it.
+// task is one Run invocation: a loop body, the shared index cursor, the
+// cancellation signal, and a wait group tracking the helpers working on
+// it.
 type task struct {
 	fn   func(int)
 	n    int64
+	done <-chan struct{}
 	next atomic.Int64
 	wg   sync.WaitGroup
 }
@@ -53,22 +62,32 @@ func New(workers int) *Pool {
 	if workers > 1 {
 		p.tasks = make(chan *task)
 		for w := 0; w < workers-1; w++ {
-			go p.worker()
+			go worker(p.tasks)
 		}
 	}
 	return p
 }
 
-func (p *Pool) worker() {
-	for t := range p.tasks {
+// worker takes the channel by value: Close nils the pool's field, and a
+// freshly spawned goroutine must not race that write.
+func worker(tasks <-chan *task) {
+	for t := range tasks {
 		t.run()
 		t.wg.Done()
 	}
 }
 
-// run drains the task's index space on the calling goroutine.
+// run drains the task's index space on the calling goroutine, bailing
+// out between indices once the task's context is cancelled.
 func (t *task) run() {
 	for {
+		if t.done != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+		}
 		i := t.next.Add(1) - 1
 		if i >= t.n {
 			return
@@ -86,22 +105,38 @@ func (p *Pool) Workers() int {
 }
 
 // Run executes fn(i) for every i in [0, n), distributing indices over
-// the pool's workers with the calling goroutine participating, and
-// returns once all n calls have completed. fn must be safe for
-// concurrent invocation and must only write to per-i state (or
-// synchronize otherwise). On a nil or single-worker pool the loop runs
-// inline in index order.
-func (p *Pool) Run(n int, fn func(i int)) {
+// the pool's workers with the calling goroutine participating. fn must
+// be safe for concurrent invocation and must only write to per-i state
+// (or synchronize otherwise). On a nil or single-worker pool the loop
+// runs inline in index order.
+//
+// ctx cancels the loop cooperatively: the context is checked before
+// each index is handed out, and on cancellation Run stops issuing new
+// indices, waits for in-flight fn calls to return, and reports
+// ctx.Err(). Some fn calls may then never have happened — outputs are
+// only complete when Run returns nil. A nil ctx never cancels.
+func (p *Pool) Run(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	if p == nil || p.workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
-	t := &task{fn: fn, n: int64(n)}
+	t := &task{fn: fn, n: int64(n), done: done}
 	// Wake at most n-1 helpers; between Runs all workers are parked on
 	// the channel, so the sends cannot block on busy workers.
 	helpers := p.workers - 1
@@ -114,12 +149,19 @@ func (p *Pool) Run(n int, fn func(i int)) {
 	}
 	t.run()
 	t.wg.Wait()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if invariant.Enabled {
 		// Every loop index must have been handed out exactly once; a
-		// short count means fn calls were silently skipped.
+		// short count means fn calls were silently skipped. (Skipped
+		// indices after a cancellation returned above.)
 		invariant.Assertf(t.next.Load() >= t.n,
 			"parallel: Run dispatched %d of %d indices", t.next.Load(), t.n)
 	}
+	return nil
 }
 
 // Close releases the pool's worker goroutines. The pool must not be

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -10,7 +12,9 @@ func TestRunCoversAllIndices(t *testing.T) {
 		p := New(workers)
 		for _, n := range []int{0, 1, 2, 3, 16, 1000} {
 			seen := make([]int32, n)
-			p.Run(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			if err := p.Run(nil, n, func(i int) { atomic.AddInt32(&seen[i], 1) }); err != nil {
+				t.Fatalf("workers=%d n=%d: Run: %v", workers, n, err)
+			}
 			for i, c := range seen {
 				if c != 1 {
 					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, c)
@@ -26,7 +30,9 @@ func TestRunReusesPoolAcrossCalls(t *testing.T) {
 	defer p.Close()
 	var total int64
 	for call := 0; call < 50; call++ {
-		p.Run(100, func(i int) { atomic.AddInt64(&total, int64(i)) })
+		if err := p.Run(nil, 100, func(i int) { atomic.AddInt64(&total, int64(i)) }); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
 	}
 	want := int64(50 * (99 * 100 / 2))
 	if total != want {
@@ -40,7 +46,9 @@ func TestNilPoolRunsInline(t *testing.T) {
 		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
 	}
 	order := make([]int, 0, 5)
-	p.Run(5, func(i int) { order = append(order, i) })
+	if err := p.Run(nil, 5, func(i int) { order = append(order, i) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("nil pool ran out of order: %v", order)
@@ -64,8 +72,63 @@ func TestSingleWorkerSpawnsNothing(t *testing.T) {
 		t.Fatal("single-worker pool allocated a task channel")
 	}
 	ran := 0
-	p.Run(10, func(i int) { ran++ })
+	if err := p.Run(nil, 10, func(i int) { ran++ }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if ran != 10 {
 		t.Fatalf("ran %d of 10", ran)
+	}
+}
+
+func TestRunPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		var ran int32
+		err := p.Run(ctx, 1000, func(i int) { atomic.AddInt32(&ran, 1) })
+		p.Close()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := atomic.LoadInt32(&ran); n != 0 {
+			t.Fatalf("workers=%d: ran %d indices on a pre-cancelled context", workers, n)
+		}
+	}
+}
+
+func TestRunMidwayCancelStopsEarly(t *testing.T) {
+	const n = 100000
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := p.Run(ctx, n, func(i int) {
+			if atomic.AddInt32(&ran, 1) == 10 {
+				cancel()
+			}
+		})
+		p.Close()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Each in-flight worker may finish the index it already claimed,
+		// but nothing close to the full range should run.
+		if got := atomic.LoadInt32(&ran); int(got) >= n {
+			t.Fatalf("workers=%d: cancellation did not stop the run (%d of %d indices)", workers, got, n)
+		}
+	}
+}
+
+func TestRunNilContextNeverCancels(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var ran int32
+	if err := p.Run(nil, 500, func(i int) { atomic.AddInt32(&ran, 1) }); err != nil {
+		t.Fatalf("Run with nil ctx: %v", err)
+	}
+	if ran != 500 {
+		t.Fatalf("ran %d of 500", ran)
 	}
 }

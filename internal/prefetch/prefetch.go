@@ -13,12 +13,15 @@
 //
 // The O(|envelope|²) bound computations run on the shared worker pool
 // of internal/parallel — the same engine that powers the greedy core —
-// one envelope row per worker task. Each function has a ...Workers
-// variant taking an explicit pool size (0 = all CPUs, 1 = serial); the
-// plain forms use all CPUs.
+// one envelope row per worker task. Every function takes the pool size
+// (0 = all CPUs, 1 = serial) and a context: prefetch passes are exactly
+// the work a session abandons when the user navigates mid-computation,
+// so cancellation is checked before every bound row and a cancelled
+// pass returns ctx.Err() with its partial output discarded.
 package prefetch
 
 import (
+	"context"
 	"sort"
 
 	"geosel/internal/geo"
@@ -35,20 +38,20 @@ import (
 // envelope. This is Lemma 5.1 with the envelope = current region Op
 // (zoom-in) and Lemma 5.2 with the envelope = union of all possible
 // zoom-out regions OA. Cost: O(|envelope|²) metric calls, paid while
-// the user is idle; rows are computed on all CPUs.
-func PairwiseBounds(col *geodata.Collection, envelopePos []int, m sim.Metric) map[int]float64 {
-	return PairwiseBoundsWorkers(col, envelopePos, m, 0)
-}
-
-// PairwiseBoundsWorkers is PairwiseBounds on an explicit number of pool
-// workers (0 = all CPUs, 1 = serial).
-func PairwiseBoundsWorkers(col *geodata.Collection, envelopePos []int, m sim.Metric, workers int) map[int]float64 {
+// the user is idle; rows are computed on workers goroutines (0 = all
+// CPUs, 1 = serial). A cancelled ctx aborts between rows and returns
+// ctx.Err().
+func PairwiseBounds(ctx context.Context, col *geodata.Collection, envelopePos []int, m sim.Metric, workers int) (map[int]float64, error) {
 	sums := make([]float64, len(envelopePos))
 	objs := col.Objects
 	pool := parallel.New(workers)
 	defer pool.Close()
-	if !pairwiseBoundsPruned(objs, envelopePos, m, pool, sums) {
-		pool.Run(len(envelopePos), func(i int) {
+	pruned, err := pairwiseBoundsPruned(ctx, objs, envelopePos, m, pool, sums)
+	if err != nil {
+		return nil, err
+	}
+	if !pruned {
+		err := pool.Run(ctx, len(envelopePos), func(i int) {
 			var sum float64
 			op := &objs[envelopePos[i]]
 			for _, q := range envelopePos {
@@ -56,6 +59,9 @@ func PairwiseBoundsWorkers(col *geodata.Collection, envelopePos []int, m sim.Met
 			}
 			sums[i] = sum
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if invariant.Enabled {
 		assertEnvelopeBounds(objs, envelopePos, m, sums, "prefetch: pairwise envelope bound")
@@ -64,7 +70,7 @@ func PairwiseBoundsWorkers(col *geodata.Collection, envelopePos []int, m sim.Met
 	for i, p := range envelopePos {
 		out[p] = sums[i]
 	}
-	return out
+	return out, nil
 }
 
 // pruneCutoff is the envelope size below which the pruned bound rows
@@ -81,31 +87,31 @@ const pruneCutoff = 512
 // exactly zero — and the bounds come out bitwise identical. Reports
 // whether it filled sums; false means the caller must run the dense
 // rows (unbounded metric or tiny envelope).
-func pairwiseBoundsPruned(objs []geodata.Object, envelopePos []int, m sim.Metric, pool *parallel.Pool, sums []float64) bool {
+func pairwiseBoundsPruned(ctx context.Context, objs []geodata.Object, envelopePos []int, m sim.Metric, pool *parallel.Pool, sums []float64) (bool, error) {
 	if len(envelopePos) < pruneCutoff {
-		return false
+		return false, nil
 	}
 	r, exact, ok := sim.SupportRadius(m, 0)
 	if !ok || !exact {
-		return false
+		return false, nil
 	}
 	bounds := geo.Rect{Min: objs[envelopePos[0]].Loc, Max: objs[envelopePos[0]].Loc}
 	for _, p := range envelopePos[1:] {
 		bounds = bounds.Union(geo.Rect{Min: objs[p].Loc, Max: objs[p].Loc})
 	}
 	if r >= bounds.Min.Dist(bounds.Max) {
-		return false // the radius spans the envelope: nothing to prune
+		return false, nil // the radius spans the envelope: nothing to prune
 	}
 	g, err := grid.New(bounds, r)
 	if err != nil {
-		return false
+		return false, nil
 	}
 	// Keyed by index into envelopePos, so rows can be replayed in the
 	// dense iteration order.
 	for k, p := range envelopePos {
 		g.Insert(k, objs[p].Loc)
 	}
-	pool.Run(len(envelopePos), func(i int) {
+	runErr := pool.Run(ctx, len(envelopePos), func(i int) {
 		op := &objs[envelopePos[i]]
 		ks := g.Neighbors(op.Loc, r)
 		sort.Ints(ks)
@@ -116,7 +122,10 @@ func pairwiseBoundsPruned(objs []geodata.Object, envelopePos []int, m sim.Metric
 		}
 		sums[i] = sum
 	})
-	return true
+	if runErr != nil {
+		return false, runErr
+	}
+	return true, nil
 }
 
 // assertEnvelopeBounds checks, under the geoselcheck tag, that every
@@ -134,44 +143,27 @@ func assertEnvelopeBounds(objs []geodata.Object, envelopePos []int, m sim.Metric
 
 // ZoomInBounds precomputes upper bounds for all objects of the current
 // region (any zoom-in target is contained in it), per Lemma 5.1.
-func ZoomInBounds(store *geodata.Store, region geo.Rect, m sim.Metric) map[int]float64 {
-	return ZoomInBoundsWorkers(store, region, m, 0)
-}
-
-// ZoomInBoundsWorkers is ZoomInBounds on an explicit number of pool
-// workers.
-func ZoomInBoundsWorkers(store *geodata.Store, region geo.Rect, m sim.Metric, workers int) map[int]float64 {
-	return PairwiseBoundsWorkers(store.Collection(), store.Region(region), m, workers)
+func ZoomInBounds(ctx context.Context, store *geodata.Store, region geo.Rect, m sim.Metric, workers int) (map[int]float64, error) {
+	return PairwiseBounds(ctx, store.Collection(), store.Region(region), m, workers)
 }
 
 // ZoomOutBounds precomputes upper bounds for all objects of the
 // zoom-out envelope (the union of all possible zoom-out regions up to
 // maxScale× the current side length), per Lemma 5.2.
-func ZoomOutBounds(store *geodata.Store, vp geo.Viewport, maxScale float64, m sim.Metric) map[int]float64 {
-	return ZoomOutBoundsWorkers(store, vp, maxScale, m, 0)
-}
-
-// ZoomOutBoundsWorkers is ZoomOutBounds on an explicit number of pool
-// workers.
-func ZoomOutBoundsWorkers(store *geodata.Store, vp geo.Viewport, maxScale float64, m sim.Metric, workers int) map[int]float64 {
+func ZoomOutBounds(ctx context.Context, store *geodata.Store, vp geo.Viewport, maxScale float64, m sim.Metric, workers int) (map[int]float64, error) {
 	env := vp.ZoomOutEnvelope(maxScale)
-	return PairwiseBoundsWorkers(store.Collection(), store.Region(env), m, workers)
+	return PairwiseBounds(ctx, store.Collection(), store.Region(env), m, workers)
 }
 
 // PanBounds precomputes upper bounds for all objects of the panning
 // envelope rA (3× the viewport on each axis), per Lemma 5.3: for each
 // object o the sum runs only over rA ∩ ro, where ro is the square
 // centered at o with twice the old region's width — every possible
-// panned region containing o lies inside that intersection.
-func PanBounds(store *geodata.Store, vp geo.Viewport, m sim.Metric) map[int]float64 {
-	return PanBoundsWorkers(store, vp, m, 0)
-}
-
-// PanBoundsWorkers is PanBounds on an explicit number of pool workers.
-// Each worker owns one envelope object: it performs the per-object
-// window query (the store's R-tree search is read-only and safe to
-// share) and accumulates that object's bound.
-func PanBoundsWorkers(store *geodata.Store, vp geo.Viewport, m sim.Metric, workers int) map[int]float64 {
+// panned region containing o lies inside that intersection. Each worker
+// owns one envelope object: it performs the per-object window query
+// (the store's R-tree search is read-only and safe to share) and
+// accumulates that object's bound.
+func PanBounds(ctx context.Context, store *geodata.Store, vp geo.Viewport, m sim.Metric, workers int) (map[int]float64, error) {
 	env := vp.PanEnvelope()
 	envPos := store.Region(env)
 	col := store.Collection()
@@ -195,7 +187,7 @@ func PanBoundsWorkers(store *geodata.Store, vp geo.Viewport, m sim.Metric, worke
 	sums := make([]float64, len(envPos))
 	pool := parallel.New(workers)
 	defer pool.Close()
-	pool.Run(len(envPos), func(i int) {
+	err := pool.Run(ctx, len(envPos), func(i int) {
 		o := &objs[envPos[i]]
 		ro := geo.Rect{
 			Min: geo.Point{X: o.Loc.X - rw, Y: o.Loc.Y - rh},
@@ -212,6 +204,9 @@ func PanBoundsWorkers(store *geodata.Store, vp geo.Viewport, m sim.Metric, worke
 		}
 		sums[i] = sum
 	})
+	if err != nil {
+		return nil, err
+	}
 	if invariant.Enabled {
 		assertEnvelopeBounds(objs, envPos, m, sums, "prefetch: pan envelope bound")
 	}
@@ -219,5 +214,5 @@ func PanBoundsWorkers(store *geodata.Store, vp geo.Viewport, m sim.Metric, worke
 	for i, p := range envPos {
 		out[p] = sums[i]
 	}
-	return out
+	return out, nil
 }

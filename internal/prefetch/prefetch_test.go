@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -47,7 +48,10 @@ func TestZoomInBoundsAreUpperBounds(t *testing.T) {
 	m := sim.Cosine{}
 	rng := rand.New(rand.NewSource(2))
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
-	bounds := ZoomInBounds(store, region, m)
+	bounds, err := ZoomInBounds(context.Background(), store, region, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for trial := 0; trial < 10; trial++ {
 		inner, err := dataset.RandomZoomIn(region, 0.3+rng.Float64()*0.5, rng)
 		if err != nil {
@@ -84,7 +88,10 @@ func TestZoomOutBoundsAreUpperBounds(t *testing.T) {
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.1)
 	vp := geo.NewViewport(geo.WorldUnit, region)
 	const maxScale = 2
-	bounds := ZoomOutBounds(store, vp, maxScale, m)
+	bounds, err := ZoomOutBounds(context.Background(), store, vp, maxScale, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for trial := 0; trial < 10; trial++ {
 		outer, err := dataset.RandomZoomOut(region, 1.2+rng.Float64()*(maxScale-1.2), rng)
 		if err != nil {
@@ -110,7 +117,10 @@ func TestPanBoundsAreUpperBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.12)
 	vp := geo.NewViewport(geo.WorldUnit, region)
-	bounds := PanBounds(store, vp, m)
+	bounds, err := PanBounds(context.Background(), store, vp, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for trial := 0; trial < 10; trial++ {
 		d, err := dataset.RandomPan(region, 0.2+rng.Float64()*0.8, rng)
 		if err != nil {
@@ -143,8 +153,11 @@ func TestTiledBoundsAreUpperBoundsAndTighter(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
 	envPos := store.Region(region)
-	plain := PairwiseBounds(col, envPos, m)
-	tiled, err := NewTiled(col, envPos, region, 8, m)
+	plain, err := PairwiseBounds(context.Background(), col, envPos, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := NewTiled(context.Background(), col, envPos, region, 8, m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +196,11 @@ func TestTiledFinerTilesTighter(t *testing.T) {
 	m := sim.Cosine{}
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
 	envPos := store.Region(region)
-	coarse, err := NewTiled(col, envPos, region, 4, m)
+	coarse, err := NewTiled(context.Background(), col, envPos, region, 4, m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, err := NewTiled(col, envPos, region, 16, m)
+	fine, err := NewTiled(context.Background(), col, envPos, region, 16, m, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,14 +225,14 @@ func TestTiledFinerTilesTighter(t *testing.T) {
 func TestNewTiledValidation(t *testing.T) {
 	store := testStore(t, 100, 10)
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
-	if _, err := NewTiled(store.Collection(), nil, region, 0, sim.Cosine{}); err == nil {
+	if _, err := NewTiled(context.Background(), store.Collection(), nil, region, 0, sim.Cosine{}, 0); err == nil {
 		t.Error("tilesPerSide 0 should fail")
 	}
 	bad := geo.Rect{Min: geo.Pt(1, 1), Max: geo.Pt(0, 0)}
-	if _, err := NewTiled(store.Collection(), nil, bad, 4, sim.Cosine{}); err == nil {
+	if _, err := NewTiled(context.Background(), store.Collection(), nil, bad, 4, sim.Cosine{}, 0); err == nil {
 		t.Error("invalid envelope should fail")
 	}
-	tl, err := NewTiled(store.Collection(), nil, region, 4, sim.Cosine{})
+	tl, err := NewTiled(context.Background(), store.Collection(), nil, region, 4, sim.Cosine{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +246,11 @@ func TestNewTiledValidation(t *testing.T) {
 
 func TestPairwiseBoundsEmpty(t *testing.T) {
 	store := testStore(t, 10, 11)
-	if got := PairwiseBounds(store.Collection(), nil, sim.Cosine{}); len(got) != 0 {
+	got, err := PairwiseBounds(context.Background(), store.Collection(), nil, sim.Cosine{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
 		t.Errorf("empty envelope should give empty bounds, got %d", len(got))
 	}
 }
@@ -247,8 +264,14 @@ func TestPanBoundsSubsetOfPairwise(t *testing.T) {
 	vp := geo.NewViewport(geo.WorldUnit, region)
 	env := vp.PanEnvelope()
 	envPos := store.Region(env)
-	plain := PairwiseBounds(store.Collection(), envPos, m)
-	pan := PanBounds(store, vp, m)
+	plain, err := PairwiseBounds(context.Background(), store.Collection(), envPos, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pan, err := PanBounds(context.Background(), store, vp, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range envPos {
 		if pan[p] > plain[p]+1e-9 {
 			t.Fatalf("pan bound %v exceeds plain envelope bound %v", pan[p], plain[p])

@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"context"
 	"testing"
 
 	"geosel/internal/geo"
@@ -26,8 +27,14 @@ func TestPairwiseBoundsPrunedBitwise(t *testing.T) {
 	}
 	m := sim.EuclideanProximity{MaxDist: 0.05}
 	for _, workers := range []int{1, 4} {
-		pruned := PairwiseBoundsWorkers(col, envelopePos, m, workers)
-		dense := PairwiseBoundsWorkers(col, envelopePos, sim.Func(m.Sim), workers)
+		pruned, err := PairwiseBounds(context.Background(), col, envelopePos, m, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := PairwiseBounds(context.Background(), col, envelopePos, sim.Func(m.Sim), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(pruned) != len(dense) {
 			t.Fatalf("workers=%d: %d pruned vs %d dense bounds", workers, len(pruned), len(dense))
 		}
@@ -49,7 +56,10 @@ func TestPanBoundsPrunedStillDominate(t *testing.T) {
 	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.1)
 	vp := geo.NewViewport(geo.WorldUnit, region)
 	m := sim.EuclideanProximity{MaxDist: 0.03} // well under the region side
-	bounds := PanBoundsWorkers(store, vp, m, 2)
+	bounds, err := PanBounds(context.Background(), store, vp, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	moved := region.Translate(geo.Pt(0.07, -0.05))
 	onPos := store.Region(moved)
 	if len(onPos) == 0 {

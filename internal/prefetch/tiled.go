@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"context"
 	"fmt"
 
 	"geosel/internal/geo"
@@ -33,15 +34,10 @@ type Tiled struct {
 }
 
 // NewTiled precomputes tiled bounds for the objects at envelopePos over
-// the envelope rectangle, using all CPUs. tilesPerSide must be at
-// least 1.
-func NewTiled(col *geodata.Collection, envelopePos []int, env geo.Rect, tilesPerSide int, m sim.Metric) (*Tiled, error) {
-	return NewTiledWorkers(col, envelopePos, env, tilesPerSide, m, 0)
-}
-
-// NewTiledWorkers is NewTiled on an explicit number of pool workers
-// (0 = all CPUs, 1 = serial).
-func NewTiledWorkers(col *geodata.Collection, envelopePos []int, env geo.Rect, tilesPerSide int, m sim.Metric, workers int) (*Tiled, error) {
+// the envelope rectangle on workers pool goroutines (0 = all CPUs,
+// 1 = serial). tilesPerSide must be at least 1. A cancelled ctx aborts
+// between rows and returns ctx.Err().
+func NewTiled(ctx context.Context, col *geodata.Collection, envelopePos []int, env geo.Rect, tilesPerSide int, m sim.Metric, workers int) (*Tiled, error) {
 	if tilesPerSide < 1 {
 		return nil, fmt.Errorf("prefetch: tilesPerSide must be >= 1, got %d", tilesPerSide)
 	}
@@ -65,7 +61,7 @@ func NewTiledWorkers(col *geodata.Collection, envelopePos []int, env geo.Rect, t
 	nt := tilesPerSide * tilesPerSide
 	pool := parallel.New(workers)
 	defer pool.Close()
-	pool.Run(len(envelopePos), func(i int) {
+	err := pool.Run(ctx, len(envelopePos), func(i int) {
 		row := make([]float64, nt)
 		op := &objs[envelopePos[i]]
 		for j, q := range envelopePos {
@@ -73,6 +69,9 @@ func NewTiledWorkers(col *geodata.Collection, envelopePos []int, env geo.Rect, t
 		}
 		t.contrib[i] = row
 	})
+	if err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

@@ -7,13 +7,14 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"geosel/internal/core"
+	"geosel/internal/engine"
 	"geosel/internal/geodata"
-	"geosel/internal/sim"
 )
 
 // HoeffdingSize returns the sample size from Equation 6,
@@ -82,12 +83,13 @@ func (b Bound) String() string {
 	}
 }
 
-// Config parameterizes SaSS.
+// Config parameterizes SaSS. The sos parameters and perf knobs (K,
+// Theta, Metric, Agg, Parallelism, PruneEps, ...) live in the embedded
+// engine.Config and are forwarded wholesale to the greedy run on the
+// sample; the fields declared here are sampling-specific.
 type Config struct {
-	// K, Theta and Metric are the sos parameters (Definition 3.1).
-	K      int
-	Theta  float64
-	Metric sim.Metric
+	engine.Config
+
 	// Eps is the error tolerance ε and Delta the confidence error δ of
 	// Theorem 6.3.
 	Eps   float64
@@ -97,15 +99,6 @@ type Config struct {
 	Bound Bound
 	// Rng drives the uniform sample; must not be nil.
 	Rng *rand.Rand
-	// Agg is the aggregation for scoring; AggMax is the paper's.
-	Agg core.Agg
-	// Parallelism is forwarded to core.Selector.Parallelism for the
-	// greedy run on the sample (0 = all CPUs, 1 = serial).
-	Parallelism int
-	// PruneEps is forwarded to core.Selector.PruneEps: the
-	// support-radius pruning mode of the greedy run on the sample
-	// (0 = exact-only, bitwise-preserving).
-	PruneEps float64
 }
 
 // Result reports a SaSS run.
@@ -122,7 +115,9 @@ type Result struct {
 
 // Run is Algorithm 2 (SaSS): draw m uniform samples, run the greedy
 // selection on the sample, and return positions into the full slice.
-func Run(objs []geodata.Object, cfg Config) (*Result, error) {
+// ctx cancels the greedy run cooperatively (see core.Selector.Run); a
+// nil ctx never cancels.
+func Run(ctx context.Context, objs []geodata.Object, cfg Config) (*Result, error) {
 	if cfg.Rng == nil {
 		return nil, fmt.Errorf("sampling: Config.Rng must not be nil")
 	}
@@ -150,15 +145,10 @@ func Run(objs []geodata.Object, cfg Config) (*Result, error) {
 	}
 
 	sel := &core.Selector{
-		Objects:     sample,
-		K:           cfg.K,
-		Theta:       cfg.Theta,
-		Metric:      cfg.Metric,
-		Agg:         cfg.Agg,
-		Parallelism: cfg.Parallelism,
-		PruneEps:    cfg.PruneEps,
+		Config:  cfg.Config,
+		Objects: sample,
 	}
-	res, err := sel.Run()
+	res, err := sel.Run(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package sampling
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
 	"geosel/internal/core"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/sim"
@@ -133,12 +135,8 @@ func TestRunBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{
-		K: 10, Theta: 0.03, Metric: m,
-		Eps: 0.05, Delta: 0.1,
-		Rng: rand.New(rand.NewSource(2)),
-	}
-	res, err := Run(objs, cfg)
+	cfg := Config{Config: engine.Config{K: 10, Theta: 0.03, Metric: m}, Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(2))}
+	res, err := Run(context.Background(), objs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,14 +169,13 @@ func TestRunScoreCloseToFullGreedy(t *testing.T) {
 		t.Fatal(err)
 	}
 	k, theta := 10, 0.03
-	full := &core.Selector{Objects: objs, K: k, Theta: theta, Metric: m}
-	fres, err := full.Run()
+	full := &core.Selector{Config: engine.Config{K: k, Theta: theta, Metric: m}, Objects: objs}
+	fres, err := full.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{K: k, Theta: theta, Metric: m, Eps: 0.05, Delta: 0.1,
-		Rng: rand.New(rand.NewSource(4))}
-	sres, err := Run(objs, cfg)
+	cfg := Config{Config: engine.Config{K: k, Theta: theta, Metric: m}, Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(4))}
+	sres, err := Run(context.Background(), objs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,9 +196,8 @@ func TestRunSmallPopulation(t *testing.T) {
 	// bound the whole population is sampled.
 	objs := testObjects(50, 5)
 	m, _ := sim.NewHybrid(0.5, math.Sqrt2)
-	cfg := Config{K: 5, Theta: 0.01, Metric: m, Eps: 0.05, Delta: 0.1,
-		Rng: rand.New(rand.NewSource(6))}
-	res, err := Run(objs, cfg)
+	cfg := Config{Config: engine.Config{K: 5, Theta: 0.01, Metric: m}, Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(6))}
+	res, err := Run(context.Background(), objs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +207,7 @@ func TestRunSmallPopulation(t *testing.T) {
 	}
 	cfg.Bound = BoundHoeffding
 	cfg.Rng = rand.New(rand.NewSource(7))
-	res, err = Run(objs, cfg)
+	res, err = Run(context.Background(), objs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,15 +219,13 @@ func TestRunSmallPopulation(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	objs := testObjects(10, 7)
 	m, _ := sim.NewHybrid(0.5, math.Sqrt2)
-	if _, err := Run(objs, Config{K: 2, Metric: m, Eps: 0.05, Delta: 0.1}); err == nil {
+	if _, err := Run(context.Background(), objs, Config{Config: engine.Config{K: 2, Metric: m}, Eps: 0.05, Delta: 0.1}); err == nil {
 		t.Error("nil rng should fail")
 	}
-	if _, err := Run(objs, Config{K: 2, Metric: m, Eps: 2, Delta: 0.1,
-		Rng: rand.New(rand.NewSource(1))}); err == nil {
+	if _, err := Run(context.Background(), objs, Config{Config: engine.Config{K: 2, Metric: m}, Eps: 2, Delta: 0.1, Rng: rand.New(rand.NewSource(1))}); err == nil {
 		t.Error("bad eps should fail")
 	}
-	res, err := Run(nil, Config{K: 2, Metric: m, Eps: 0.05, Delta: 0.1,
-		Rng: rand.New(rand.NewSource(1))})
+	res, err := Run(context.Background(), nil, Config{Config: engine.Config{K: 2, Metric: m}, Eps: 0.05, Delta: 0.1, Rng: rand.New(rand.NewSource(1))})
 	if err != nil || len(res.Selected) != 0 {
 		t.Errorf("empty objects: %v, %v", res, err)
 	}
@@ -240,9 +234,8 @@ func TestRunValidation(t *testing.T) {
 func TestRunHoeffdingBound(t *testing.T) {
 	objs := testObjects(3000, 8)
 	m, _ := sim.NewHybrid(0.5, math.Sqrt2)
-	cfg := Config{K: 5, Theta: 0.02, Metric: m, Eps: 0.05, Delta: 0.1,
-		Bound: BoundHoeffding, Rng: rand.New(rand.NewSource(9))}
-	res, err := Run(objs, cfg)
+	cfg := Config{Config: engine.Config{K: 5, Theta: 0.02, Metric: m}, Eps: 0.05, Delta: 0.1, Bound: BoundHoeffding, Rng: rand.New(rand.NewSource(9))}
+	res, err := Run(context.Background(), objs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

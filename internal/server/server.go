@@ -3,76 +3,122 @@
 // /sessions API for interactive, consistency-aware exploration
 // (the isos problem), matching how a map frontend would consume the
 // library. It uses only net/http and encoding/json.
+//
+// Every request runs under its context: the client disconnecting (or a
+// server Shutdown draining) cancels the selection within one evaluation
+// chunk, and engine.Config.RequestTimeout adds a server-side deadline
+// on top. Sessions are evicted after engine.Config.SessionTTL of
+// idleness and capped at engine.Config.MaxSessions (idlest evicted
+// first); requests for an evicted session return 404 like any unknown
+// id.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"geosel/internal/core"
+	"geosel/internal/engine"
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
-	"geosel/internal/sim"
 )
 
 // maxBodyBytes bounds request bodies; selection requests are tiny.
 const maxBodyBytes = 1 << 20
 
-// Server serves selection queries over one indexed dataset.
-type Server struct {
-	store  *geodata.Store
-	metric sim.Metric
-
-	// parallelism is forwarded to every selector and session the server
-	// creates: 0 picks runtime.NumCPU(), 1 runs serial. Selections are
-	// identical for every setting.
-	parallelism int
-	// pruneEps is forwarded as the support-radius pruning mode: 0
-	// admits exact-only (bitwise-preserving) pruning, (0, 1) admits
-	// eps-pruning for eps-support metrics.
-	pruneEps float64
-
-	mu       sync.Mutex
-	sessions map[string]*isos.Session
-	nextID   int
+// sessionEntry is one live session plus its serving metadata. Per-entry
+// locking lets a slow selection on one session proceed concurrently
+// with requests for other sessions; the server-wide mutex is held only
+// for map lookups and eviction bookkeeping, never across a selection.
+type sessionEntry struct {
+	// mu serializes operations on this session (sessions are
+	// single-user, but HTTP clients can misbehave).
+	mu   sync.Mutex
+	sess *isos.Session
+	// last is the start of the entry's most recent request, guarded by
+	// the server mutex (not the entry mutex) so the eviction scan never
+	// has to take entry locks.
+	last time.Time
 }
 
-// New returns a server over the given store and similarity metric.
-func New(store *geodata.Store, metric sim.Metric) (*Server, error) {
+// Server serves selection queries over one indexed dataset. All knobs
+// arrive through the engine.Config passed to New — there are no
+// mutating setters, so a Server is safe for concurrent requests from
+// the moment it is constructed.
+type Server struct {
+	store *geodata.Store
+	cfg   engine.Config
+
+	mu       sync.Mutex
+	sessions map[string]*sessionEntry
+	nextID   int
+
+	// now is the clock; a test hook.
+	now func() time.Time
+}
+
+// New returns a server over the given store. cfg must carry at least
+// the Metric; K and ThetaFrac arrive per request. Zero-valued serving
+// fields take the engine defaults (SessionTTL 15m, MaxSessions 1024;
+// RequestTimeout 0 = no server-side deadline), and a negative
+// SessionTTL disables TTL eviction.
+func New(store *geodata.Store, cfg engine.Config) (*Server, error) {
 	if store == nil {
 		return nil, fmt.Errorf("server: nil store")
 	}
-	if metric == nil {
-		return nil, fmt.Errorf("server: nil metric")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	cfg = cfg.WithDefaults()
 	return &Server{
 		store:    store,
-		metric:   metric,
-		sessions: make(map[string]*isos.Session),
+		cfg:      cfg,
+		sessions: make(map[string]*sessionEntry),
+		now:      time.Now,
 	}, nil
 }
 
-// SetParallelism sets the worker count forwarded to every selection and
-// session the server creates: 0 (the default) picks runtime.NumCPU(),
-// 1 runs serial. Call it before serving requests; it is not
-// synchronized with request handling.
-func (s *Server) SetParallelism(n int) { s.parallelism = n }
-
-// SetPruneEps sets the support-radius pruning mode forwarded to every
-// selection and session the server creates (core.Selector.PruneEps):
-// 0 (the default) admits exact-only pruning, a value in (0, 1) admits
-// eps-pruning. Call it before serving requests; it is not synchronized
-// with request handling.
-func (s *Server) SetPruneEps(eps float64) error {
-	if eps < 0 || eps >= 1 {
-		return fmt.Errorf("server: PruneEps = %v outside [0, 1)", eps)
+// Close cancels the background prefetch goroutines of every live
+// session and drops them all. Call it after http.Server.Shutdown has
+// drained in-flight requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ent := range s.sessions {
+		ent.sess.Close()
+		delete(s.sessions, id)
 	}
-	s.pruneEps = eps
-	return nil
+}
+
+// requestContext derives the context a handler's work runs under: the
+// request context (cancelled when the client disconnects or the server
+// drains) plus the configured per-request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// ctxStatus maps a selection error to an HTTP status: 504 for a
+// server-imposed deadline, 499-style 503 for a cancelled client, 400
+// for everything else (invalid configurations).
+func ctxStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // Handler returns the HTTP routes.
@@ -162,14 +208,17 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be positive")
 		return
 	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	regionPos := s.store.Region(region)
 	objs := s.store.Collection().Subset(regionPos)
-	theta := req.ThetaFrac * region.Width()
-	sel := &core.Selector{Objects: objs, K: req.K, Theta: theta, Metric: s.metric,
-		Parallelism: s.parallelism, PruneEps: s.pruneEps}
-	res, err := sel.Run()
+	cfg := s.cfg
+	cfg.K = req.K
+	cfg.Theta = req.ThetaFrac * region.Width()
+	sel := &core.Selector{Config: cfg, Objects: objs}
+	res, err := sel.Run(ctx)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, ctxStatus(err), err.Error())
 		return
 	}
 	positions := make([]int, len(res.Selected))
@@ -195,31 +244,73 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	sess, err := isos.NewSession(s.store, isos.Config{
-		K:            req.K,
-		ThetaFrac:    req.ThetaFrac,
-		Metric:       s.metric,
-		TilesPerSide: req.TilesPerSide,
-		Parallelism:  s.parallelism,
-		PruneEps:     s.pruneEps,
-	})
+	cfg := isos.Config{Config: s.cfg}
+	cfg.K = req.K
+	cfg.ThetaFrac = req.ThetaFrac
+	if req.TilesPerSide > 0 {
+		cfg.TilesPerSide = req.TilesPerSide
+	}
+	sess, err := isos.NewSession(s.store, cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.mu.Lock()
+	s.evictLocked()
 	s.nextID++
 	id := strconv.Itoa(s.nextID)
-	s.sessions[id] = sess
+	s.sessions[id] = &sessionEntry{sess: sess, last: s.now()}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]string{"sessionId": id})
 }
 
-func (s *Server) session(id string) (*isos.Session, bool) {
+// evictLocked enforces the session lifecycle bounds; the caller holds
+// s.mu. Sessions idle past SessionTTL are dropped, and when the map is
+// still at MaxSessions the idlest sessions are dropped until one slot
+// is free for the caller's insert. Evicted sessions are Closed —
+// cancelling their background prefetch — which is safe even if an
+// in-flight request still holds the evicted entry's lock: Close only
+// cancels a context, and the entry itself stays valid for that last
+// request while future lookups 404.
+func (s *Server) evictLocked() {
+	now := s.now()
+	if ttl := s.cfg.SessionTTL; ttl > 0 {
+		for id, ent := range s.sessions {
+			if now.Sub(ent.last) > ttl {
+				ent.sess.Close()
+				delete(s.sessions, id)
+			}
+		}
+	}
+	max := s.cfg.MaxSessions
+	if max <= 0 {
+		return
+	}
+	for len(s.sessions) >= max {
+		oldestID := ""
+		var oldest time.Time
+		for id, ent := range s.sessions {
+			if oldestID == "" || ent.last.Before(oldest) {
+				oldestID, oldest = id, ent.last
+			}
+		}
+		if oldestID == "" {
+			return
+		}
+		s.sessions[oldestID].sess.Close()
+		delete(s.sessions, oldestID)
+	}
+}
+
+// session looks up a live entry and stamps its idle clock.
+func (s *Server) session(id string) (*sessionEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
-	return sess, ok
+	ent, ok := s.sessions[id]
+	if ok {
+		ent.last = s.now()
+	}
+	return ent, ok
 }
 
 type opKind int
@@ -241,7 +332,7 @@ type opRequest struct {
 
 func (s *Server) sessionOp(kind opKind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sess, ok := s.session(r.PathValue("id"))
+		ent, ok := s.session(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, "unknown session")
 			return
@@ -250,25 +341,24 @@ func (s *Server) sessionOp(kind opKind) http.HandlerFunc {
 		if !decode(w, r, &req) {
 			return
 		}
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
 		var sel *isos.Selection
 		var err error
-		// Sessions are single-user but HTTP clients can misbehave;
-		// serialize operations per server (sessions are cheap, the
-		// selection dominates).
-		s.mu.Lock()
+		ent.mu.Lock()
 		switch kind {
 		case opStart:
-			sel, err = sess.Start(req.Region.rect())
+			sel, err = ent.sess.Start(ctx, req.Region.rect())
 		case opZoomIn:
-			sel, err = sess.ZoomIn(req.Region.rect())
+			sel, err = ent.sess.ZoomIn(ctx, req.Region.rect())
 		case opZoomOut:
-			sel, err = sess.ZoomOut(req.Region.rect())
+			sel, err = ent.sess.ZoomOut(ctx, req.Region.rect())
 		default:
-			sel, err = sess.Pan(geo.Pt(req.DX, req.DY))
+			sel, err = ent.sess.Pan(ctx, geo.Pt(req.DX, req.DY))
 		}
-		s.mu.Unlock()
+		ent.mu.Unlock()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, ctxStatus(err), err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, selectionJSON{
@@ -287,7 +377,7 @@ type prefetchRequest struct {
 }
 
 func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
+	ent, ok := s.session(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
@@ -310,25 +400,27 @@ func (s *Server) handlePrefetch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	err := sess.Prefetch(ops...)
-	s.mu.Unlock()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	ent.mu.Lock()
+	err := ent.sess.Prefetch(ctx, ops...)
+	ent.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, ctxStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "prefetched"})
 }
 
 func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
+	ent, ok := s.session(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
-	s.mu.Lock()
-	sel, err := sess.Back()
-	s.mu.Unlock()
+	ent.mu.Lock()
+	sel, err := ent.sess.Back()
+	ent.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -342,13 +434,14 @@ func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	ent, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
+	ent.sess.Close()
 	w.WriteHeader(http.StatusNoContent)
 }
 

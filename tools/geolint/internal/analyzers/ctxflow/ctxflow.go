@@ -1,0 +1,155 @@
+// Package ctxflow enforces the cancellation contract introduced with
+// the engine refactor: any exported function that dispatches work onto
+// the internal/parallel worker pool — by constructing a pool with
+// parallel.New or driving one with (*parallel.Pool).Run — must accept a
+// context.Context parameter and actually use it. The pool cancels
+// cooperatively at chunk boundaries, so a dispatch site that never
+// threads a context pins its callers to uncancellable work: a server
+// request that outlives its client, a session navigation that cannot be
+// abandoned.
+//
+// The check is structural, not transitive: it looks at direct calls
+// inside the exported function's body (including function literals
+// defined there), which is where every legitimate dispatch in this
+// repository happens. Deliberately context-free entry points — bounded
+// ground-truth reductions like core.Score — carry a "//geolint:noctx"
+// annotation on the declaration.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+// poolPathSuffix identifies the worker-pool package by import-path
+// suffix, so the check works both on the real module and on the
+// self-contained testdata module.
+const poolPathSuffix = "internal/parallel"
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags exported functions that dispatch onto the internal/parallel pool without accepting and using a context.Context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		// Binaries pick context.Background at their entry points; the
+		// threading obligation is on library API.
+		return nil
+	}
+	if strings.HasSuffix(pass.PkgPath, poolPathSuffix) {
+		return nil // the pool itself is the cancellation primitive
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !dispatchesToPool(pass, fn.Body) {
+		return
+	}
+	ctxParam := contextParam(pass, fn.Type)
+	switch {
+	case ctxParam == nil:
+		if pass.Suppressed(fn.Pos(), "noctx") {
+			return
+		}
+		pass.Reportf(fn.Pos(), "exported %s dispatches onto the worker pool but has no context.Context parameter; accept one (or annotate the declaration with //geolint:noctx)", fn.Name.Name)
+	case !paramUsed(pass, fn.Body, ctxParam):
+		if pass.Suppressed(fn.Pos(), "noctx") {
+			return
+		}
+		pass.Reportf(fn.Pos(), "exported %s dispatches onto the worker pool but never uses its context.Context parameter %q; thread it into the dispatch", fn.Name.Name, ctxParam.Name())
+	}
+}
+
+// dispatchesToPool reports whether the body directly calls parallel.New
+// or (*parallel.Pool).Run from the worker-pool package.
+func dispatchesToPool(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel]
+		if !ok || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), poolPathSuffix) {
+			return true
+		}
+		if obj.Name() == "New" || obj.Name() == "Run" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// contextParam returns the first parameter object whose type is
+// context.Context, or nil.
+func contextParam(pass *analysis.Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+		// An anonymous context.Context parameter exists but can never be
+		// used; treat it as absent by returning nil below.
+	}
+	return nil
+}
+
+// isContext reports whether t is the named type context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// paramUsed reports whether any identifier in the body resolves to the
+// parameter object — i.e. the context is actually threaded somewhere.
+func paramUsed(pass *analysis.Pass, body *ast.BlockStmt, param types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == param {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

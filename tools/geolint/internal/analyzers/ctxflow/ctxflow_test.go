@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/geosel")
+}

@@ -1,0 +1,81 @@
+// Package geosel seeds context-threading violations for the ctxflow
+// analyzer, alongside compliant dispatch sites.
+package geosel
+
+import (
+	"context"
+
+	"example.com/geosel/internal/parallel"
+)
+
+// Engine mimics a selector owning a pool.
+type Engine struct {
+	pool *parallel.Pool
+}
+
+// NoContext dispatches onto a fresh pool without any context.
+func NoContext(n int) { // want `exported NoContext dispatches onto the worker pool but has no context.Context parameter`
+	p := parallel.New(0)
+	defer p.Close()
+	_ = p.Run(nil, n, func(int) {})
+}
+
+// UnusedContext accepts a context but never threads it into the run.
+func UnusedContext(ctx context.Context, n int) { // want `exported UnusedContext dispatches onto the worker pool but never uses its context.Context parameter "ctx"`
+	p := parallel.New(0)
+	defer p.Close()
+	_ = p.Run(nil, n, func(int) {})
+}
+
+// Threaded does it right; silent.
+func Threaded(ctx context.Context, n int) error {
+	p := parallel.New(0)
+	defer p.Close()
+	return p.Run(ctx, n, func(int) {})
+}
+
+// MethodNoContext dispatches through a stored pool.
+func (e *Engine) MethodNoContext(n int) { // want `exported MethodNoContext dispatches onto the worker pool but has no context.Context parameter`
+	_ = e.pool.Run(nil, n, func(int) {})
+}
+
+// MethodThreaded threads the context through a stored pool; silent.
+func (e *Engine) MethodThreaded(ctx context.Context, n int) error {
+	return e.pool.Run(ctx, n, func(int) {})
+}
+
+// InsideLiteral dispatches from a function literal defined in the body;
+// the obligation still holds.
+func InsideLiteral(n int) { // want `exported InsideLiteral dispatches onto the worker pool but has no context.Context parameter`
+	run := func() {
+		p := parallel.New(0)
+		defer p.Close()
+		_ = p.Run(nil, n, func(int) {})
+	}
+	run()
+}
+
+// unexported dispatch sites are internal plumbing; silent.
+func unexportedNoContext(n int) {
+	p := parallel.New(0)
+	defer p.Close()
+	_ = p.Run(nil, n, func(int) {})
+}
+
+// GroundTruth documents a deliberate context-free reduction; silent.
+//
+//geolint:noctx
+func GroundTruth(n int) {
+	p := parallel.New(0)
+	defer p.Close()
+	_ = p.Run(nil, n, func(int) {})
+}
+
+// PoolMetadata only reads pool metadata, never dispatches; silent.
+func PoolMetadata(p *parallel.Pool) int {
+	defer p.Close()
+	return p.Workers()
+}
+
+// NoPoolAtAll never touches the pool; silent.
+func NoPoolAtAll(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,33 @@
+// Package parallel mimics the repository's worker pool: same package
+// path suffix, same New/Run/Close/Workers surface, so the ctxflow
+// analyzer sees the shapes it targets in production.
+package parallel
+
+import "context"
+
+// Pool is a stand-in worker pool.
+type Pool struct{}
+
+// New constructs a pool.
+func New(workers int) *Pool { return &Pool{} }
+
+// Run dispatches n indices under ctx.
+func (p *Pool) Run(ctx context.Context, n int, fn func(int)) error {
+	for i := 0; i < n; i++ {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
+		fn(i)
+	}
+	return nil
+}
+
+// Close releases the pool.
+func (p *Pool) Close() {}
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return 1 }

@@ -1,43 +1,41 @@
 // Package knobplumb verifies that every library-side construction of a
-// configuration struct carrying a performance knob actually forwards the
-// knob. PR 1 plumbed Parallelism through core.Selector, isos.Config,
-// sampling.Config and geosel.Options, and PR 3 added PruneEps alongside
-// it; a wrapper that builds one of these with keyed fields but silently
-// omits a knob pins its callers to the default and loses the trade-off
-// (or, worse, the determinism contract documentation attached to the
-// knob). Deliberate omissions carry a per-knob annotation:
-// "//geolint:serial" excuses a dropped Parallelism (paper-methodology
-// benchmarks, for example), "//geolint:exact" excuses a dropped PruneEps
-// (constructions that must stay on the exact-only default).
+// configuration struct built around the unified engine.Config embed
+// actually forwards that embed. Earlier revisions hand-copied each
+// performance knob (Parallelism, PruneEps) through every layer and this
+// analyzer policed the copies field by field; with the engine refactor
+// there is exactly one thing to forward — the embedded engine.Config —
+// so the per-knob table is gone and the check is structural: a keyed
+// composite literal of an embedding struct that sets other fields but
+// omits the Config key silently pins every engine knob (metric, K, θ,
+// parallelism, pruning, prefetch tuning, serving limits) to its zero
+// value, which is exactly the drift the embed was introduced to kill.
+// A deliberate all-defaults construction carries a
+// "//geolint:defaults" annotation.
 package knobplumb
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"geosel/tools/geolint/internal/analysis"
 )
 
-// knobs are the config fields every wrapper must forward, each with the
-// directive that excuses a deliberate omission.
-var knobs = []struct {
-	name      string
-	directive string
-}{
-	{"Parallelism", "serial"},
-	{"PruneEps", "exact"},
-}
+// enginePathSuffix identifies the unified config's package by
+// import-path suffix, so the check works both on the real module and on
+// the self-contained testdata module.
+const enginePathSuffix = "internal/engine"
 
 // Analyzer is the knobplumb check.
 var Analyzer = &analysis.Analyzer{
 	Name: "knobplumb",
-	Doc:  "flags keyed composite literals of knob-bearing config structs that drop the Parallelism or PruneEps knob (library packages only)",
+	Doc:  "flags keyed composite literals of structs embedding engine.Config that bypass the embed (library packages only)",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
 	if pass.Pkg.Name() == "main" {
-		// Binaries and examples choose their own knob values; the
+		// Binaries and examples choose their own config values; the
 		// plumbing obligation is on library wrappers.
 		return nil
 	}
@@ -63,34 +61,39 @@ func check(pass *analysis.Pass, lit *ast.CompositeLit) {
 		return
 	}
 	st, ok := tv.Type.Underlying().(*types.Struct)
-	if !ok {
+	if !ok || !embedsEngineConfig(st) {
 		return
 	}
-	set := make(map[string]bool, len(lit.Elts))
 	for _, elt := range lit.Elts {
 		kv, ok := elt.(*ast.KeyValueExpr)
 		if !ok {
 			return // positional literal: every field is present by construction
 		}
-		if key, ok := kv.Key.(*ast.Ident); ok {
-			set[key.Name] = true
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Config" {
+			return
 		}
 	}
-	for _, k := range knobs {
-		if !hasField(st, k.name) || set[k.name] {
-			continue
-		}
-		if pass.Suppressed(lit.Pos(), k.directive) {
-			continue
-		}
-		pass.Reportf(lit.Pos(), "composite literal of %s sets %d field(s) but drops the %s knob; forward it or annotate the literal with //geolint:%s",
-			tv.Type, len(lit.Elts), k.name, k.directive)
+	if pass.Suppressed(lit.Pos(), "defaults") {
+		return
 	}
+	pass.Reportf(lit.Pos(), "composite literal of %s sets %d field(s) but bypasses the embedded engine.Config; forward the embed (Config: ...) or annotate the literal with //geolint:defaults",
+		tv.Type, len(lit.Elts))
 }
 
-func hasField(st *types.Struct, name string) bool {
+// embedsEngineConfig reports whether the struct has an embedded field
+// named Config whose type comes from the engine package.
+func embedsEngineConfig(st *types.Struct) bool {
 	for i := 0; i < st.NumFields(); i++ {
-		if st.Field(i).Name() == name {
+		f := st.Field(i)
+		if !f.Embedded() || f.Name() != "Config" {
+			continue
+		}
+		named, ok := f.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), enginePathSuffix) {
 			return true
 		}
 	}

@@ -1,88 +1,74 @@
-// Package wrap seeds dropped-knob violations for the knobplumb
+// Package wrap seeds engine.Config-embed bypasses for the knobplumb
 // analyzer, alongside compliant constructions.
 package wrap
 
-// Selector mimics a knob-bearing config struct (core.Selector,
-// isos.Config, ...) carrying both performance knobs.
-type Selector struct {
-	K           int
-	Theta       float64
-	Parallelism int
-	PruneEps    float64
+import "example.com/wrap/internal/engine"
+
+// Session wraps the engine config with a layer-local knob, mirroring
+// isos.Config / sampling.Config / geosel.Options in the real module.
+type Session struct {
+	engine.Config
+	Filter func(int) bool
 }
 
-// Sampler carries only the Parallelism knob; PruneEps is never its
-// business.
-type Sampler struct {
-	K           int
-	Parallelism int
+// Server embeds the engine config under the same promoted name.
+type Server struct {
+	engine.Config
+	Addr string
 }
 
-// Plain has no knob; its literals are never knobplumb's business.
+// Plain has an ordinary (non-embedded) field that happens to share the
+// name; it is not part of the unified-config contract.
 type Plain struct {
-	K int
+	Config string
+	Addr   string
 }
 
-// dropped is the seeded violation: a keyed literal that configures the
-// selector but silently pins the defaults of both knobs. One diagnostic
-// per missing knob.
-func dropped() *Selector {
-	return &Selector{K: 10, Theta: 0.5} // want `drops the Parallelism knob` `drops the PruneEps knob`
+// Bypassed sets a layer-local field but never forwards the embed, so
+// every engine knob silently pins to its zero value.
+func Bypassed() Session {
+	return Session{Filter: func(int) bool { return true }} // want `composite literal of example.com/wrap.Session sets 1 field\(s\) but bypasses the embedded engine.Config`
 }
 
-// droppedPrune forwards Parallelism but silently pins the exact-only
-// pruning default.
-func droppedPrune(p int) *Selector {
-	return &Selector{K: 10, Parallelism: p} // want `drops the PruneEps knob`
+// BypassedServer trips the same check on a second embedding type.
+func BypassedServer() Server {
+	return Server{Addr: ":8080"} // want `composite literal of example.com/wrap.Server sets 1 field\(s\) but bypasses the embedded engine.Config`
 }
 
-// droppedPar forwards PruneEps but silently pins the default
-// parallelism.
-func droppedPar(eps float64) *Selector {
-	return &Selector{K: 10, PruneEps: eps} // want `drops the Parallelism knob`
+// Forwarded plumbs the embed through; silent.
+func Forwarded(cfg engine.Config) Session {
+	return Session{
+		Config: cfg,
+		Filter: func(int) bool { return true },
+	}
 }
 
-// samplerDropped only owes the knob it has.
-func samplerDropped() *Sampler {
-	return &Sampler{K: 10} // want `drops the Parallelism knob`
+// ZeroValue takes the zero value explicitly; an empty literal is an
+// unambiguous "all defaults" and stays silent.
+func ZeroValue() Session {
+	return Session{}
 }
 
-// forwarded plumbs both knobs through; silent.
-func forwarded(p int, eps float64) *Selector {
-	return &Selector{K: 10, Theta: 0.5, Parallelism: p, PruneEps: eps}
+// Deliberate documents an intentional all-defaults construction with
+// the defaults directive; silent.
+func Deliberate() Server {
+	//geolint:defaults
+	return Server{Addr: ":9090"}
 }
 
-// zeroValue is an explicit all-defaults literal; silent.
-func zeroValue() Selector {
-	return Selector{}
+// Positional literals name every field by construction; silent.
+func Positional(cfg engine.Config) Server {
+	return Server{cfg, ":7070"}
 }
 
-// positional literals state every field by construction; silent.
-func positional() Selector {
-	return Selector{10, 0.5, 2, 0}
+// NotEmbedded constructs a struct whose Config field is ordinary, not
+// the engine embed; silent.
+func NotEmbedded() Plain {
+	return Plain{Addr: ":6060"}
 }
 
-// deliberatelySerial documents the paper-methodology case: both knobs
-// are excused by the comma-joined directives; silent.
-func deliberatelySerial() *Selector {
-	//geolint:serial,exact
-	return &Selector{K: 10, Theta: 0.5}
-}
-
-// exactOnly excuses the pruning knob but still owes Parallelism.
-func exactOnly(p int) *Selector {
-	//geolint:exact
-	return &Selector{K: 10, Parallelism: p}
-}
-
-// halfExcused excuses only one of two missing knobs; the other is still
-// reported.
-func halfExcused() *Selector {
-	//geolint:serial
-	return &Selector{K: 10, Theta: 0.5} // want `drops the PruneEps knob`
-}
-
-// noKnobType literals are ignored; silent.
-func noKnobType() Plain {
-	return Plain{K: 3}
+// DirectConfig builds the engine config itself, which embeds nothing;
+// silent.
+func DirectConfig() engine.Config {
+	return engine.Config{K: 5, ThetaFrac: 0.01}
 }

@@ -1,0 +1,11 @@
+// Package engine mimics the repository's unified engine config: same
+// package path suffix and type name, so the knobplumb analyzer sees the
+// embed shape it targets in production.
+package engine
+
+// Config is the stand-in unified engine configuration.
+type Config struct {
+	K           int
+	ThetaFrac   float64
+	Parallelism int
+}

@@ -14,7 +14,9 @@
 //
 //	floatorder  nondeterministically ordered float accumulation in the
 //	            parallel hot paths (map ranges, cross-worker captures)
-//	knobplumb   config wrappers that drop the Parallelism knob
+//	knobplumb   config literals that bypass the embedded engine.Config
+//	ctxflow     exported pool-dispatching functions that fail to accept
+//	            or thread a context.Context
 //	errlite     silently discarded errors outside tests
 //	nopanic     panic in library packages
 package main
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	"geosel/tools/geolint/internal/analysis"
+	"geosel/tools/geolint/internal/analyzers/ctxflow"
 	"geosel/tools/geolint/internal/analyzers/errlite"
 	"geosel/tools/geolint/internal/analyzers/floatorder"
 	"geosel/tools/geolint/internal/analyzers/knobplumb"
@@ -35,6 +38,7 @@ import (
 var All = []*analysis.Analyzer{
 	floatorder.Analyzer,
 	knobplumb.Analyzer,
+	ctxflow.Analyzer,
 	errlite.Analyzer,
 	nopanic.Analyzer,
 }
