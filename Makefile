@@ -3,7 +3,7 @@
 
 GEOLINT := $(CURDIR)/bin/geolint
 
-.PHONY: all build test check race lint fuzz bench clean
+.PHONY: all build test check race churn lint fuzz bench clean
 
 all: build lint test
 
@@ -20,6 +20,13 @@ check:
 
 race:
 	go test -race ./internal/...
+
+# churn runs the snapshot-isolation suite — sessions navigating while
+# the live store ingests — under the race detector with the runtime
+# invariants compiled in, then smoke-tests the ingest benchmark.
+churn:
+	go test -race -tags geoselcheck -run Churn -count=1 ./internal/livestore ./internal/isos
+	go run ./cmd/benchrunner -suite ingest-churn -quick -out /tmp/BENCH_ingest_smoke.json
 
 # lint runs the project's own analyzers (tools/geolint) through the
 # go vet driver, plus the stock vet checks.

@@ -9,6 +9,7 @@
 //	benchrunner -exp all -uk 100000 -us 400000 -poi 30000 -queries 3
 //	benchrunner -suite pruned-vs-dense
 //	benchrunner -suite prefetch-overlap
+//	benchrunner -suite ingest-churn [-quick]
 package main
 
 import (
@@ -24,8 +25,9 @@ func main() {
 	var (
 		exp     = flag.String("exp", "", "exhibit id (table3, table4, fig7..fig14, fig18..fig23) or 'all'")
 		list    = flag.Bool("list", false, "list exhibit ids and exit")
-		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense or prefetch-overlap (writes BENCH_*.json)")
+		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense, prefetch-overlap or ingest-churn (writes BENCH_*.json)")
 		out     = flag.String("out", "", "output path for -suite (default BENCH_<suite>.json)")
+		quick   = flag.Bool("quick", false, "shrink -suite workloads for CI smoke runs (ingest-churn only)")
 		ukSize  = flag.Int("uk", 0, "UK-like dataset size (0 = default)")
 		usSize  = flag.Int("us", 0, "US-like dataset size (0 = default)")
 		poiSize = flag.Int("poi", 0, "POI-like dataset size (0 = default)")
@@ -43,6 +45,10 @@ func main() {
 			runner, dflt = runPrunedSuite, "BENCH_pruned.json"
 		case "prefetch-overlap":
 			runner, dflt = runOverlapSuite, "BENCH_prefetch_overlap.json"
+		case "ingest-churn":
+			q := *quick
+			runner = func(path string, seed int64) error { return runIngestSuite(path, seed, q) }
+			dflt = "BENCH_ingest.json"
 		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown suite %q\n", *suite)
 			os.Exit(2)

@@ -16,6 +16,13 @@
 //	POST /sessions/{id}/pan
 //	POST /sessions/{id}/prefetch      warm the next operation
 //	DELETE /sessions/{id}
+//
+// With -live, the dataset is mutable and three more endpoints are
+// active (they answer 501 otherwise):
+//
+//	POST   /ingest                    commit a mutation batch as one epoch
+//	DELETE /objects/{id}              delete one object by external id
+//	GET    /store/stats               live-store counters
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"geosel/internal/dataset"
 	"geosel/internal/engine"
 	"geosel/internal/geodata"
+	"geosel/internal/livestore"
 	"geosel/internal/server"
 	"geosel/internal/sim"
 )
@@ -55,6 +63,8 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", engine.DefaultSessionTTL, "evict sessions idle for this long (negative = never)")
 		maxSessions = flag.Int("max-sessions", engine.DefaultMaxSessions, "maximum live sessions; the idlest is evicted beyond this")
 		asyncPre    = flag.Bool("async-prefetch", true, "compute next-operation bounds on a background goroutine after each navigation")
+		live        = flag.Bool("live", false, "serve a mutable live store: enables POST /ingest, DELETE /objects/{id} and GET /store/stats")
+		ingestBatch = flag.Int("ingest-batch", engine.DefaultIngestBatch, "live-store ingest queue auto-flush threshold")
 	)
 	flag.Parse()
 
@@ -65,11 +75,7 @@ func main() {
 	if *tfidf {
 		col.ApplyTFIDF()
 	}
-	store, err := geodata.NewStore(col)
-	if err != nil {
-		log.Fatal("geoselserver: ", err)
-	}
-	srv, err := server.New(store, engine.Config{
+	cfg := engine.Config{
 		Metric:         sim.Cosine{},
 		Parallelism:    *par,
 		PruneEps:       *pruneEps,
@@ -77,11 +83,32 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
-	})
+		IngestBatch:    *ingestBatch,
+	}
+	var src geodata.Source
+	if *live {
+		ls, err := livestore.New(col, cfg)
+		if err != nil {
+			log.Fatal("geoselserver: ", err)
+		}
+		src = ls
+	} else {
+		store, err := geodata.NewStore(col)
+		if err != nil {
+			log.Fatal("geoselserver: ", err)
+		}
+		src = store
+	}
+	srv, err := server.New(src, cfg)
 	if err != nil {
 		log.Fatal("geoselserver: ", err)
 	}
-	log.Printf("serving %d objects on %s", store.Len(), *addr)
+	view, version := src.Snapshot()
+	mode := "static"
+	if *live {
+		mode = "live"
+	}
+	log.Printf("serving %d objects (%s store, version %d) on %s", view.Len(), mode, version, *addr)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -44,6 +44,7 @@ import (
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
+	"geosel/internal/livestore"
 	"geosel/internal/sampling"
 	"geosel/internal/sim"
 )
@@ -68,6 +69,33 @@ type (
 	Collection = geodata.Collection
 	// Store indexes a collection for region queries.
 	Store = geodata.Store
+	// View is a pinned, immutable read view of a dataset — a static
+	// Store, or one epoch of a LiveStore.
+	View = geodata.View
+	// Source yields the current View and its version; both Store and
+	// LiveStore implement it, so sessions work over either.
+	Source = geodata.Source
+)
+
+// Live ingestion (see internal/livestore): a LiveStore accepts batched
+// mutations and publishes an immutable snapshot per committed batch.
+type (
+	// LiveStore is a mutable, versioned object store with copy-on-write
+	// snapshots; build one with NewLiveStore.
+	LiveStore = livestore.Store
+	// Mutation is one insert/update/delete keyed by Object.ID.
+	Mutation = livestore.Mutation
+	// MutationOutcome reports what a committed batch did.
+	MutationOutcome = livestore.Outcome
+	// LiveStoreStats is a point-in-time summary of a LiveStore.
+	LiveStoreStats = livestore.Stats
+)
+
+// Mutation kinds.
+const (
+	OpInsert = livestore.OpInsert
+	OpUpdate = livestore.OpUpdate
+	OpDelete = livestore.OpDelete
 )
 
 // Metric scores the similarity of two objects in [0, 1].
@@ -252,7 +280,21 @@ func SatisfiesVisibility(objs []Object, selected []int, theta float64) bool {
 }
 
 // NewSession starts an interactive, consistency-aware exploration of
-// the store's dataset.
-func NewSession(store *Store, cfg SessionConfig) (*Session, error) {
-	return isos.NewSession(store, cfg)
+// the source's dataset. Pass a *Store for a static dataset or a
+// *LiveStore for one ingesting concurrently; in the live case every
+// navigation pins the then-current snapshot, so each selection sees one
+// consistent version.
+func NewSession(src Source, cfg SessionConfig) (*Session, error) {
+	return isos.NewSession(src, cfg)
+}
+
+// NewLiveStore builds a mutable, versioned store seeded with the
+// collection's objects (copied; the vocabulary becomes writer-owned).
+// With no mutations applied, selections over it are bitwise-identical
+// to selections over NewStore of the same collection. cfg supplies
+// Parallelism (incremental index maintenance for large batches) and
+// IngestBatch (the Enqueue auto-flush threshold); zero values take the
+// engine defaults.
+func NewLiveStore(col *Collection, cfg EngineConfig) (*LiveStore, error) {
+	return livestore.New(col, cfg)
 }

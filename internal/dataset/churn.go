@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/livestore"
+)
+
+// ChurnSpec parameterizes a synthetic mutation trace over a base
+// collection — the workload the live store ingests in the churn tests
+// and the ingest-churn benchmark suite.
+type ChurnSpec struct {
+	// Mutations is the trace length.
+	Mutations int
+	// InsertWeight, UpdateWeight and DeleteWeight set the relative mix
+	// of operation kinds; all zero means the default 3:4:3 mix. Deletes
+	// and updates target uniformly random live IDs, inserts mint fresh
+	// IDs, so with a balanced mix the live count stays near the base
+	// size.
+	InsertWeight, UpdateWeight, DeleteWeight float64
+	// RatePerSec spaces the trace timestamps (TimedMutation.AtMs);
+	// 0 means 1000 mutations/s. Replayers are free to ignore the
+	// timeline.
+	RatePerSec float64
+	// Seed drives all randomness; equal specs over equal collections
+	// generate identical traces.
+	Seed int64
+}
+
+// Validate reports the first invalid field.
+func (s ChurnSpec) Validate() error {
+	switch {
+	case s.Mutations < 0:
+		return fmt.Errorf("dataset: Mutations = %d must be non-negative", s.Mutations)
+	case s.InsertWeight < 0 || s.UpdateWeight < 0 || s.DeleteWeight < 0:
+		return fmt.Errorf("dataset: churn mix weights must be non-negative")
+	case s.RatePerSec < 0:
+		return fmt.Errorf("dataset: RatePerSec = %v must be non-negative", s.RatePerSec)
+	}
+	return nil
+}
+
+// GenerateChurn derives a mutation trace from the base collection.
+// Inserts clone a random base object's text and perturb its location
+// (new points stay plausible under the base's spatial/textual skew
+// without re-running the full generator); updates move a live object by
+// a small delta and re-draw its weight; deletes remove a live object.
+// The trace is internally consistent: updates and deletes only ever
+// target IDs that are live at that point of the trace, so replaying it
+// from the base collection yields Outcome.Missed == 0.
+func GenerateChurn(col *geodata.Collection, spec ChurnSpec) ([]livestore.TimedMutation, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if col == nil || len(col.Objects) == 0 {
+		return nil, fmt.Errorf("dataset: churn needs a non-empty base collection")
+	}
+	iw, uw, dw := spec.InsertWeight, spec.UpdateWeight, spec.DeleteWeight
+	if iw == 0 && uw == 0 && dw == 0 {
+		iw, uw, dw = 3, 4, 3
+	}
+	rate := spec.RatePerSec
+	if rate == 0 {
+		rate = 1000
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	bounds, _ := col.Bounds()
+	// Perturbation scale: a small fraction of the world, so churn stays
+	// inside the spatial structure rather than teleporting objects.
+	step := 0.01 * (bounds.Width() + bounds.Height())
+	if step <= 0 {
+		step = 1e-3
+	}
+
+	type state struct {
+		loc    geo.Point
+		weight float64
+		text   string
+	}
+	liveIDs := make([]int, 0, len(col.Objects))
+	liveAt := make(map[int]int, len(col.Objects)) // id -> index in liveIDs
+	objects := make(map[int]state, len(col.Objects))
+	nextID := 0
+	for _, o := range col.Objects {
+		liveAt[o.ID] = len(liveIDs)
+		liveIDs = append(liveIDs, o.ID)
+		objects[o.ID] = state{loc: o.Loc, weight: o.Weight, text: o.Text}
+		if o.ID >= nextID {
+			nextID = o.ID + 1
+		}
+	}
+	dropLive := func(id int) {
+		i := liveAt[id]
+		last := len(liveIDs) - 1
+		liveIDs[i] = liveIDs[last]
+		liveAt[liveIDs[i]] = i
+		liveIDs = liveIDs[:last]
+		delete(liveAt, id)
+	}
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	perturb := func(p geo.Point) geo.Point {
+		return geo.Pt(
+			clamp(p.X+rng.NormFloat64()*step, bounds.Min.X, bounds.Max.X),
+			clamp(p.Y+rng.NormFloat64()*step, bounds.Min.Y, bounds.Max.Y),
+		)
+	}
+
+	total := iw + uw + dw
+	out := make([]livestore.TimedMutation, 0, spec.Mutations)
+	for i := 0; i < spec.Mutations; i++ {
+		r := rng.Float64() * total
+		var m livestore.Mutation
+		switch {
+		case r < iw || len(liveIDs) == 0:
+			tmpl := col.Objects[rng.Intn(len(col.Objects))]
+			id := nextID
+			nextID++
+			st := state{loc: perturb(tmpl.Loc), weight: rng.Float64(), text: tmpl.Text}
+			m = livestore.Mutation{Op: livestore.OpInsert, ID: id, Loc: st.loc, Weight: st.weight, Text: st.text}
+			liveAt[id] = len(liveIDs)
+			liveIDs = append(liveIDs, id)
+			objects[id] = st
+		case r < iw+uw:
+			id := liveIDs[rng.Intn(len(liveIDs))]
+			st := objects[id]
+			st.loc = perturb(st.loc)
+			st.weight = rng.Float64()
+			m = livestore.Mutation{Op: livestore.OpUpdate, ID: id, Loc: st.loc, Weight: st.weight, Text: st.text}
+			objects[id] = st
+		default:
+			id := liveIDs[rng.Intn(len(liveIDs))]
+			m = livestore.Mutation{Op: livestore.OpDelete, ID: id}
+			dropLive(id)
+			delete(objects, id)
+		}
+		out = append(out, livestore.TimedMutation{
+			Seq:      i,
+			AtMs:     int64(float64(i) * 1000 / rate),
+			Mutation: m,
+		})
+	}
+	return out, nil
+}

@@ -59,6 +59,9 @@ const (
 	// DefaultMaxSessions is the server session-count bound when
 	// MaxSessions is zero.
 	DefaultMaxSessions = 1024
+	// DefaultIngestBatch is the auto-flush threshold of the live-ingest
+	// queue when IngestBatch is zero.
+	DefaultIngestBatch = 1024
 )
 
 // Config is the unified engine configuration. Every layer of the
@@ -136,6 +139,12 @@ type Config struct {
 	// explicit synchronous Prefetch calls, exactly as before.
 	AsyncPrefetch bool
 
+	// IngestBatch is the auto-flush threshold of the live-ingest queue
+	// (livestore.Store.Enqueue): buffered mutations are committed as one
+	// epoch once the buffer reaches this size. 0 means
+	// DefaultIngestBatch; ignored by layers without an ingest path.
+	IngestBatch int
+
 	// RequestTimeout, when positive, bounds the wall-clock time the
 	// server spends on one selection request; the request's context is
 	// cancelled at the deadline and the selection stops within one
@@ -183,6 +192,9 @@ func (c Config) Validate() error {
 	if c.MaxSessions < 0 {
 		return fmt.Errorf("engine: MaxSessions = %d must be non-negative", c.MaxSessions)
 	}
+	if c.IngestBatch < 0 {
+		return fmt.Errorf("engine: IngestBatch = %d must be non-negative", c.IngestBatch)
+	}
 	return nil
 }
 
@@ -199,6 +211,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxSessions == 0 {
 		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.IngestBatch == 0 {
+		c.IngestBatch = DefaultIngestBatch
 	}
 	return c
 }

@@ -1,0 +1,56 @@
+package geodata
+
+import "geosel/internal/geo"
+
+// View is the read interface every selection layer consumes: the static
+// Store implements it directly, and internal/livestore publishes one
+// immutable View per committed epoch. A View is a consistent picture of
+// the dataset — its Region results, Collection positions and Bounds all
+// agree with each other — and it never changes after it is obtained, so
+// readers need no locking.
+//
+// Positions returned by Region (and accepted by Collection().Objects
+// indexing) are collection positions, exactly as with the static Store.
+// The slice returned by Region is caller-owned; the Collection's Objects
+// backing is view-owned and must be treated as read-only (the snapfreeze
+// analyzer polices writes through it).
+type View interface {
+	// Collection returns the underlying collection. Treat it as
+	// read-only; for live views its Objects slice may contain dead
+	// (tombstoned) slots that Region never returns.
+	Collection() *Collection
+	// Len reports the number of live indexed objects.
+	Len() int
+	// Region returns the positions of all live objects inside r.
+	Region(r geo.Rect) []int
+	// CountRegion counts the live objects inside r.
+	CountRegion(r geo.Rect) int
+	// Nearest returns the position of the live object closest to p; ok
+	// is false for an empty view.
+	Nearest(p geo.Point) (int, bool)
+	// Bounds returns the bounding rectangle of the live objects; ok is
+	// false for an empty view.
+	Bounds() (geo.Rect, bool)
+}
+
+// Source yields consistent views of a dataset: every Snapshot call
+// returns the latest published View together with its version, a
+// monotone counter that increases exactly when the data changes.
+// Sessions pin the (View, version) pair per navigation, so one
+// navigation — derivation, prefetch-bound lookup and greedy run — is
+// always evaluated against one coherent version. The static Store is a
+// Source whose version is forever 0.
+type Source interface {
+	Snapshot() (View, uint64)
+}
+
+// LiveView is implemented by views whose position space can lose members
+// across versions (deletes, updates that supersede a slot). LivePos lets
+// a session translate positions pinned at an older version: positions
+// are stable — a slot is never reused — so a position either still
+// refers to the same object here, or the object is gone and LivePos
+// reports false.
+type LiveView interface {
+	View
+	LivePos(pos int) bool
+}

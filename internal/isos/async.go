@@ -44,6 +44,10 @@ type prefetchJob struct {
 	done  chan struct{}
 	state *prefetchState
 	err   error
+	// version is the snapshot version the job's bounds are computed
+	// against; joinPrefetch only adopts the state when it still matches
+	// the session's pinned version.
+	version uint64
 }
 
 // spawnPrefetch launches the background bound computation for the
@@ -56,15 +60,20 @@ func (s *Session) spawnPrefetch() {
 	}
 	ctx, cancel := context.WithCancel(s.base)
 	job := &prefetchJob{
-		cancel: cancel,
-		done:   make(chan struct{}),
-		state:  newPrefetchState(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   newPrefetchState(s.version),
+		version: s.version,
 	}
-	vp := s.viewport
+	// Capture the pinned view and viewport by value: the owner may repin
+	// s.view (live ingestion) before this goroutine finishes, and the
+	// computation must stay on the snapshot its bounds are recorded
+	// against.
+	view, vp := s.view, s.viewport
 	go func() {
 		defer close(job.done)
 		defer cancel()
-		job.err = s.computePrefetch(ctx, job.state, vp, []geo.Op{geo.OpZoomIn, geo.OpZoomOut, geo.OpPan})
+		job.err = s.computePrefetch(ctx, job.state, view, vp, []geo.Op{geo.OpZoomIn, geo.OpZoomOut, geo.OpPan})
 	}()
 	s.job = job
 }
@@ -87,7 +96,12 @@ func (s *Session) joinPrefetch() {
 		job.cancel()
 		<-job.done
 	}
-	if job.err == nil {
+	// A job that computed bounds against a snapshot older than the
+	// session's now-pinned version is discarded even when it finished:
+	// its envelope sums do not dominate gains over the newer object set.
+	// Navigation repins before joining, so this comparison is exactly
+	// "did ingestion advance the store since the job was spawned".
+	if job.err == nil && job.version == s.version {
 		s.prefetch = job.state
 	}
 }

@@ -1,0 +1,261 @@
+package isos
+
+// Version-awareness tests for live stores: stale prefetch discard
+// (async and sync), repin filtering, and the acceptance-criterion
+// matrix proving a mutation-free live store selects bitwise-identically
+// to the static store engine. Named *Churn* so CI's churn-stress job
+// (`go test -race -run Churn -tags geoselcheck`) picks them up.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/livestore"
+)
+
+func testLiveStore(t *testing.T, n int, seed int64) *livestore.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	col := geodata.NewCollection()
+	words := []string{"cafe", "bar", "park", "gym", "zoo", "pier", "dock", "inn"}
+	for i := 0; i < n; i++ {
+		text := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		col.Add(i, geo.Pt(rng.Float64(), rng.Float64()), rng.Float64(), text)
+	}
+	ls, err := livestore.New(col, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// oneInsert is the minimal version-advancing mutation batch.
+func oneInsert(id int) []livestore.Mutation {
+	return []livestore.Mutation{{
+		Op: livestore.OpInsert, ID: id,
+		Loc: geo.Pt(0.987, 0.013), Weight: 0.5, Text: "cafe pier",
+	}}
+}
+
+// TestChurnStalePrefetchDiscardedAsync is the acceptance criterion's
+// "stale async bounds provably discarded" half: a finished background
+// job whose version predates an ingested epoch must not seed the lazy
+// heap, while the identical navigation without the intervening epoch
+// must (positive control — proves the discard is the version check, not
+// a prefetch miss).
+func TestChurnStalePrefetchDiscardedAsync(t *testing.T) {
+	ctx := context.Background()
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	inner := region.ScaleAroundCenter(0.5)
+
+	run := func(mutate bool) *Selection {
+		ls := testLiveStore(t, 1200, 41)
+		cfg := testConfig(t)
+		cfg.AsyncPrefetch = true
+		s, err := NewSession(ls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Start(ctx, region); err != nil {
+			t.Fatal(err)
+		}
+		if s.job == nil {
+			t.Fatal("no background job after Start")
+		}
+		<-s.job.done // bounds for version 0 are now finished
+		if mutate {
+			if _, _, err := ls.Apply(ctx, oneInsert(100000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sel, err := s.ZoomIn(ctx, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+
+	if sel := run(false); !sel.Prefetched {
+		t.Fatal("positive control: finished background prefetch was not adopted")
+	}
+	if sel := run(true); sel.Prefetched {
+		t.Fatal("bounds computed against version 0 seeded a selection on version 1")
+	}
+}
+
+// TestChurnStalePrefetchDiscardedSync: same protocol for explicit
+// synchronous Prefetch — the installed prefetchState records its
+// version, and prefetchBounds refuses it once an epoch lands.
+func TestChurnStalePrefetchDiscardedSync(t *testing.T) {
+	ctx := context.Background()
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.2)
+	inner := region.ScaleAroundCenter(0.5)
+
+	run := func(mutate bool) *Selection {
+		ls := testLiveStore(t, 1200, 42)
+		s, err := NewSession(ls, testConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Start(ctx, region); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Prefetch(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if mutate {
+			if _, _, err := ls.Apply(ctx, oneInsert(100000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sel, err := s.ZoomIn(ctx, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+
+	if sel := run(false); !sel.Prefetched {
+		t.Fatal("positive control: synchronous prefetch was not used")
+	}
+	if sel := run(true); sel.Prefetched {
+		t.Fatal("stale synchronous prefetch survived an ingested epoch")
+	}
+}
+
+// TestChurnRepinFiltersVisible: after an epoch deletes displayed
+// objects, the next navigation repins and the session's visible set and
+// history must only reference positions live in the new snapshot.
+func TestChurnRepinFiltersVisible(t *testing.T) {
+	ctx := context.Background()
+	ls := testLiveStore(t, 3000, 43)
+	s, err := NewSession(ls, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	region := geo.RectAround(geo.Pt(0.5, 0.5), 0.25)
+	sel, err := s.Start(ctx, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objs := ls.Current().Collection().Objects
+	var muts []livestore.Mutation
+	for _, p := range sel.Positions[:len(sel.Positions)/2] {
+		muts = append(muts, livestore.Mutation{Op: livestore.OpDelete, ID: objs[p].ID})
+	}
+	if _, out, err := ls.Apply(ctx, muts); err != nil || out.Deleted != len(muts) {
+		t.Fatalf("delete: out=%+v err=%v", out, err)
+	}
+
+	if _, err := s.ZoomIn(ctx, region.ScaleAroundCenter(0.6)); err != nil {
+		t.Fatal(err)
+	}
+	lv := s.view.(geodata.LiveView)
+	for _, p := range s.visible {
+		if !lv.LivePos(p) {
+			t.Fatalf("visible position %d is dead in the repinned view", p)
+		}
+	}
+	for i, h := range s.history {
+		for _, p := range h.visible {
+			if !lv.LivePos(p) {
+				t.Fatalf("history[%d] position %d is dead in the repinned view", i, p)
+			}
+		}
+	}
+	if s.visibleVersion != s.version {
+		t.Fatalf("visibleVersion %d != pinned version %d after navigation", s.visibleVersion, s.version)
+	}
+}
+
+// TestChurnFreeLiveStoreMatchesStaticMatrix is the "no mutations →
+// bitwise identical" acceptance criterion: the same exploration over a
+// static geodata.Store and an untouched livestore must produce equal
+// Positions and bit-for-bit equal Scores in every cell of the
+// Parallelism × PruneEps × sync/async-prefetch matrix.
+func TestChurnFreeLiveStoreMatchesStaticMatrix(t *testing.T) {
+	const n, seed = 1500, 44
+	rng := rand.New(rand.NewSource(seed))
+	col := geodata.NewCollection()
+	words := []string{"cafe", "bar", "park", "gym", "zoo", "pier", "dock", "inn"}
+	for i := 0; i < n; i++ {
+		text := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		col.Add(i, geo.Pt(rng.Float64(), rng.Float64()), rng.Float64(), text)
+	}
+	static, err := geodata.NewStore(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := livestore.New(col, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type navResult struct {
+		positions []int
+		score     float64
+	}
+	explore := func(src geodata.Source, cfg Config) []navResult {
+		s, err := NewSession(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ctx := context.Background()
+		var out []navResult
+		record := func(sel *Selection, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, navResult{append([]int(nil), sel.Positions...), sel.Score})
+		}
+		region := geo.RectAround(geo.Pt(0.5, 0.5), 0.3)
+		record(s.Start(ctx, region))
+		record(s.ZoomIn(ctx, s.Viewport().Region.ScaleAroundCenter(0.6)))
+		record(s.Pan(ctx, geo.Pt(0.03, -0.02)))
+		record(s.ZoomOut(ctx, s.Viewport().Region.ScaleAroundCenter(1.5)))
+		record(s.Pan(ctx, geo.Pt(-0.05, 0.04)))
+		return out
+	}
+
+	for _, par := range []int{1, 0} {
+		for _, eps := range []float64{0, 1e-3} {
+			for _, async := range []bool{false, true} {
+				name := fmt.Sprintf("par=%d/eps=%g/async=%v", par, eps, async)
+				cfg := testConfig(t)
+				cfg.Parallelism = par
+				cfg.PruneEps = eps
+				cfg.AsyncPrefetch = async
+				want := explore(static, cfg)
+				got := explore(live, cfg)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d steps vs %d", name, len(got), len(want))
+				}
+				for i := range want {
+					if len(got[i].positions) != len(want[i].positions) {
+						t.Fatalf("%s step %d: %d positions vs %d", name, i, len(got[i].positions), len(want[i].positions))
+					}
+					for j := range want[i].positions {
+						if got[i].positions[j] != want[i].positions[j] {
+							t.Fatalf("%s step %d: positions differ at %d: %d vs %d",
+								name, i, j, got[i].positions[j], want[i].positions[j])
+						}
+					}
+					if got[i].score != want[i].score {
+						t.Fatalf("%s step %d: score %v vs %v (must be bitwise equal)",
+							name, i, got[i].score, want[i].score)
+					}
+				}
+			}
+		}
+	}
+}

@@ -4,24 +4,31 @@ import (
 	"context"
 
 	"geosel/internal/geo"
+	"geosel/internal/geodata"
 	"geosel/internal/prefetch"
 )
 
 // prefetchState caches the per-operation upper-bound data computed by
 // Prefetch or the background prefetch goroutine; it is invalidated
 // after every navigation operation. Once installed on the session it is
-// read-only.
+// read-only. version records the snapshot the bounds were computed
+// against: a Lemma 5.1–5.3 envelope sum only dominates in-region gains
+// over the same object set, so bounds are discarded — never seeded into
+// the lazy heap — when a navigation pins a newer version (see
+// prefetchBounds).
 type prefetchState struct {
-	plain map[geo.Op]map[int]float64
-	tiled map[geo.Op]*prefetch.Tiled
-	env   map[geo.Op]geo.Rect
+	version uint64
+	plain   map[geo.Op]map[int]float64
+	tiled   map[geo.Op]*prefetch.Tiled
+	env     map[geo.Op]geo.Rect
 }
 
-func newPrefetchState() *prefetchState {
+func newPrefetchState(version uint64) *prefetchState {
 	return &prefetchState{
-		plain: make(map[geo.Op]map[int]float64),
-		tiled: make(map[geo.Op]*prefetch.Tiled),
-		env:   make(map[geo.Op]geo.Rect),
+		version: version,
+		plain:   make(map[geo.Op]map[int]float64),
+		tiled:   make(map[geo.Op]*prefetch.Tiled),
+		env:     make(map[geo.Op]geo.Rect),
 	}
 }
 
@@ -52,18 +59,19 @@ func (s *Session) Prefetch(ctx context.Context, ops ...geo.Op) error {
 	if len(ops) == 0 {
 		ops = []geo.Op{geo.OpZoomIn, geo.OpZoomOut, geo.OpPan}
 	}
-	if s.prefetch == nil {
-		s.prefetch = newPrefetchState()
+	if s.prefetch == nil || s.prefetch.version != s.version {
+		s.prefetch = newPrefetchState(s.version)
 	}
-	return s.computePrefetch(ctx, s.prefetch, s.viewport, ops)
+	return s.computePrefetch(ctx, s.prefetch, s.view, s.viewport, ops)
 }
 
-// computePrefetch fills st with bound data for ops as seen from vp. It
-// reads only immutable session state (store, cfg) plus its explicit
-// arguments, so the background prefetch goroutine can run it
-// concurrently with the owner's navigation calls on a privately-owned
-// st and a captured viewport value.
-func (s *Session) computePrefetch(ctx context.Context, st *prefetchState, vp geo.Viewport, ops []geo.Op) error {
+// computePrefetch fills st with bound data for ops as seen from vp over
+// the given pinned view. It reads only immutable inputs — the view and
+// viewport are captured by the caller, cfg never changes — so the
+// background prefetch goroutine can run it concurrently with the
+// owner's navigation calls (which may repin s.view under its feet) on a
+// privately-owned st.
+func (s *Session) computePrefetch(ctx context.Context, st *prefetchState, view geodata.View, vp geo.Viewport, ops []geo.Op) error {
 	for _, op := range ops {
 		var env geo.Rect
 		switch op {
@@ -77,7 +85,7 @@ func (s *Session) computePrefetch(ctx context.Context, st *prefetchState, vp geo
 			continue
 		}
 		if s.cfg.TilesPerSide > 0 {
-			t, err := prefetch.NewTiled(ctx, s.store.Collection(), s.store.Region(env), env, s.cfg.TilesPerSide, s.cfg.Metric, s.cfg.Parallelism)
+			t, err := prefetch.NewTiled(ctx, view.Collection(), view.Region(env), env, s.cfg.TilesPerSide, s.cfg.Metric, s.cfg.Parallelism)
 			if err != nil {
 				return err
 			}
@@ -89,11 +97,11 @@ func (s *Session) computePrefetch(ctx context.Context, st *prefetchState, vp geo
 		var err error
 		switch op {
 		case geo.OpZoomIn:
-			m, err = prefetch.ZoomInBounds(ctx, s.store, vp.Region, s.cfg.Metric, s.cfg.Parallelism)
+			m, err = prefetch.ZoomInBounds(ctx, view, vp.Region, s.cfg.Metric, s.cfg.Parallelism)
 		case geo.OpZoomOut:
-			m, err = prefetch.ZoomOutBounds(ctx, s.store, vp, s.cfg.MaxZoomOutScale, s.cfg.Metric, s.cfg.Parallelism)
+			m, err = prefetch.ZoomOutBounds(ctx, view, vp, s.cfg.MaxZoomOutScale, s.cfg.Metric, s.cfg.Parallelism)
 		case geo.OpPan:
-			m, err = prefetch.PanBounds(ctx, s.store, vp, s.cfg.Metric, s.cfg.Parallelism)
+			m, err = prefetch.PanBounds(ctx, view, vp, s.cfg.Metric, s.cfg.Parallelism)
 		}
 		if err != nil {
 			return err
@@ -107,11 +115,15 @@ func (s *Session) computePrefetch(ctx context.Context, st *prefetchState, vp geo
 // prefetchBounds returns the bound map for op and the concrete new
 // region when the prefetched data covers it, nil otherwise (the
 // selection then falls back to exact initialization). Misses happen
-// when nothing was prefetched, the new region escapes the prefetched
-// envelope (e.g. a zoom-out beyond MaxZoomOutScale), or a candidate is
-// not covered — a missing bound cannot be trusted as zero.
+// when nothing was prefetched, the bounds were computed against an
+// older snapshot than the one now pinned (an insert could add gain
+// terms the stale envelope sum never saw, so Lemma 5.1–5.3 domination
+// no longer holds — stale bounds are discarded wholesale), the new
+// region escapes the prefetched envelope (e.g. a zoom-out beyond
+// MaxZoomOutScale), or a candidate is not covered — a missing bound
+// cannot be trusted as zero.
 func (s *Session) prefetchBounds(op geo.Op, region geo.Rect, g []int) map[int]float64 {
-	if s.prefetch == nil {
+	if s.prefetch == nil || s.prefetch.version != s.version {
 		return nil
 	}
 	env, ok := s.prefetch.env[op]

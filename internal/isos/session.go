@@ -73,8 +73,19 @@ type Selection struct {
 // the join protocol in async.go — it never touches mutable session
 // state.
 type Session struct {
-	store *geodata.Store
-	cfg   Config
+	src geodata.Source
+	cfg Config
+
+	// view is the snapshot pinned by the last navigation entry (repin):
+	// every read of the current operation — region fetch, derivation,
+	// selection, prefetch — goes through this one consistent view, so a
+	// live store ingesting concurrently never shears a navigation.
+	// version is the pinned snapshot's version; visibleVersion is the
+	// version the current visible set was selected against (they differ
+	// exactly when ingestion advanced the store between two operations).
+	view           geodata.View
+	version        uint64
+	visibleVersion uint64
 
 	// base is the session-lifetime context: background prefetch
 	// goroutines derive from it, so Close cancels them all.
@@ -93,10 +104,13 @@ type Session struct {
 }
 
 // NewSession validates the configuration and returns a session over the
-// store's dataset.
-func NewSession(store *geodata.Store, cfg Config) (*Session, error) {
-	if store == nil {
-		return nil, fmt.Errorf("isos: nil store")
+// source's dataset. A *geodata.Store is a Source (its own version-0
+// view forever), so static-dataset callers pass their store unchanged;
+// a *livestore.Store makes the session live — each navigation pins the
+// then-current snapshot.
+func NewSession(src geodata.Source, cfg Config) (*Session, error) {
+	if src == nil {
+		return nil, fmt.Errorf("isos: nil source")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -106,7 +120,51 @@ func NewSession(store *geodata.Store, cfg Config) (*Session, error) {
 	}
 	cfg.Config = cfg.Config.WithDefaults()
 	base, cancel := context.WithCancel(context.Background())
-	return &Session{store: store, cfg: cfg, base: base, baseCancel: cancel}, nil
+	view, ver := src.Snapshot()
+	return &Session{src: src, cfg: cfg, view: view, version: ver, visibleVersion: ver, base: base, baseCancel: cancel}, nil
+}
+
+// View returns the currently pinned snapshot and its version. The view
+// only changes at navigation entry (and Start), so between operations it
+// is stable — callers rendering Selection.Positions must resolve them
+// against this view, not against a fresh source snapshot, or a
+// concurrent ingest could shear the lookup.
+func (s *Session) View() (geodata.View, uint64) { return s.view, s.version }
+
+// repin pins the source's current snapshot for the operation starting
+// now. When ingestion advanced the version since the visible set was
+// selected, positions that died (deleted, or superseded by an update)
+// are dropped from the visible set and from history — their objects no
+// longer exist, so no consistency constraint can force them onto the
+// next view. Surviving positions are untouched: slots are immutable, so
+// their locations (and thus every pairwise θ-separation already
+// established) carry over to the new version verbatim.
+func (s *Session) repin() {
+	view, ver := s.src.Snapshot()
+	s.view = view
+	if ver == s.version {
+		return
+	}
+	s.version = ver
+	lv, ok := view.(geodata.LiveView)
+	if !ok {
+		return
+	}
+	s.visible = filterLive(s.visible, lv)
+	for i := range s.history {
+		s.history[i].visible = filterLive(s.history[i].visible, lv)
+	}
+}
+
+// filterLive drops dead positions in place.
+func filterLive(pos []int, lv geodata.LiveView) []int {
+	out := pos[:0]
+	for _, p := range pos {
+		if lv.LivePos(p) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Close cancels the session's background prefetch work. It is safe to
@@ -140,9 +198,10 @@ func (s *Session) Start(ctx context.Context, region geo.Rect) (*Selection, error
 	if !region.Valid() || region.Width() <= 0 || region.Height() <= 0 {
 		return nil, fmt.Errorf("isos: invalid start region %v", region)
 	}
+	s.repin()
 	s.joinPrefetch()
 	world := region
-	if b, ok := s.store.Bounds(); ok {
+	if b, ok := s.view.Bounds(); ok {
 		world = b
 	}
 	vp := geo.NewViewport(world, region)
@@ -172,7 +231,9 @@ func (s *Session) ZoomIn(ctx context.Context, inner geo.Rect) (*Selection, error
 	if err != nil {
 		return nil, err
 	}
+	s.repin()
 	s.joinPrefetch()
+	sameVersion := s.visibleVersion == s.version
 	objs := s.regionObjects(inner)
 	d := DeriveZoomIn(s.visible, objs, inner, s.locate)
 	bounds := s.prefetchBounds(geo.OpZoomIn, inner, d.G)
@@ -181,7 +242,7 @@ func (s *Session) ZoomIn(ctx context.Context, inner geo.Rect) (*Selection, error
 	if err != nil {
 		return nil, err
 	}
-	if invariant.Enabled {
+	if invariant.Enabled && sameVersion {
 		s.assertTransition(geo.OpZoomIn, prev.viewport.Region, inner, prev.visible)
 	}
 	s.history = append(s.history, prev)
@@ -204,7 +265,9 @@ func (s *Session) ZoomOut(ctx context.Context, outer geo.Rect) (*Selection, erro
 	if err != nil {
 		return nil, err
 	}
+	s.repin()
 	s.joinPrefetch()
+	sameVersion := s.visibleVersion == s.version
 	objs := s.regionObjects(outer)
 	d := DeriveZoomOut(s.visible, objs, old, s.locate)
 	bounds := s.prefetchBounds(geo.OpZoomOut, outer, d.G)
@@ -213,7 +276,7 @@ func (s *Session) ZoomOut(ctx context.Context, outer geo.Rect) (*Selection, erro
 	if err != nil {
 		return nil, err
 	}
-	if invariant.Enabled {
+	if invariant.Enabled && sameVersion {
 		s.assertTransition(geo.OpZoomOut, prev.viewport.Region, outer, prev.visible)
 	}
 	s.history = append(s.history, prev)
@@ -236,7 +299,9 @@ func (s *Session) Pan(ctx context.Context, delta geo.Point) (*Selection, error) 
 	if err != nil {
 		return nil, err
 	}
+	s.repin()
 	s.joinPrefetch()
+	sameVersion := s.visibleVersion == s.version
 	objs := s.regionObjects(nv.Region)
 	d := DerivePan(s.visible, objs, old, s.locate)
 	bounds := s.prefetchBounds(geo.OpPan, nv.Region, d.G)
@@ -245,7 +310,7 @@ func (s *Session) Pan(ctx context.Context, delta geo.Point) (*Selection, error) 
 	if err != nil {
 		return nil, err
 	}
-	if invariant.Enabled {
+	if invariant.Enabled && sameVersion {
 		s.assertTransition(geo.OpPan, prev.viewport.Region, nv.Region, prev.visible)
 	}
 	s.history = append(s.history, prev)
@@ -274,18 +339,22 @@ func (s *Session) requireStarted() error {
 	return nil
 }
 
+// locate returns the location of a collection position. Slots are
+// immutable across versions (append-plus-tombstone storage), so
+// positions recorded under an older pinned version still resolve to the
+// same location here.
 func (s *Session) locate(pos int) geo.Point {
-	return s.store.Collection().Objects[pos].Loc
+	return s.view.Collection().Objects[pos].Loc
 }
 
 // regionObjects returns the positions of the session-relevant objects
 // in region, applying the configured filter.
 func (s *Session) regionObjects(region geo.Rect) []int {
-	pos := s.store.Region(region)
+	pos := s.view.Region(region)
 	if s.cfg.Filter == nil {
 		return pos
 	}
-	objs := s.store.Collection().Objects
+	objs := s.view.Collection().Objects
 	out := pos[:0]
 	for _, p := range pos {
 		if s.cfg.Filter(&objs[p]) {
@@ -319,7 +388,7 @@ func assertBoundsDominate(objs []geodata.Object, cands []int, gains []float64, m
 // upper bounds. The session's visible set is updated only on success.
 func (s *Session) selectIn(ctx context.Context, region geo.Rect, d Derivation, unconstrained bool, bounds map[int]float64) (*Selection, error) {
 	regionPos := s.regionObjects(region)
-	col := s.store.Collection()
+	col := s.view.Collection()
 	objs := col.Subset(regionPos)
 
 	// Map collection positions to subset positions.
@@ -393,5 +462,6 @@ func (s *Session) selectIn(ctx context.Context, region geo.Rect, d Derivation, u
 		out.Positions = append(out.Positions, regionPos[i])
 	}
 	s.visible = append([]int(nil), out.Positions...)
+	s.visibleVersion = s.version
 	return out, nil
 }

@@ -1,0 +1,330 @@
+package livestore_test
+
+// Snapshot-isolation tests: sessions navigating while the store ingests
+// concurrently. These run under -race in CI (the churn-stress job runs
+// `go test -race -run Churn -tags geoselcheck ./...`): epoch pinning
+// means the navigation path takes no locks, so any missing
+// happens-before edge between the writer and a reader is a race-report,
+// not a flake.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geosel/internal/dataset"
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/isos"
+	"geosel/internal/livestore"
+	"geosel/internal/sim"
+)
+
+func churnCollection(t *testing.T, n int, seed int64) *geodata.Collection {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	col := geodata.NewCollection()
+	for i := 0; i < n; i++ {
+		col.Add(i, geo.Pt(rng.Float64(), rng.Float64()), rng.Float64(),
+			fmt.Sprintf("cafe bar term%d term%d", i%11, i%29))
+	}
+	return col
+}
+
+func churnMutations(t *testing.T, col *geodata.Collection, n int, seed int64) []livestore.Mutation {
+	t.Helper()
+	trace, err := dataset.GenerateChurn(col, dataset.ChurnSpec{Mutations: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := make([]livestore.Mutation, len(trace))
+	for i, tm := range trace {
+		muts[i] = tm.Mutation
+	}
+	return muts
+}
+
+func churnSessionCfg(k int) isos.Config {
+	return isos.Config{Config: engine.Config{
+		K: k, ThetaFrac: 0.01, Metric: sim.Cosine{},
+	}}
+}
+
+// navScript drives one fixed exploration and returns each step's
+// positions.
+func navScript(t *testing.T, s *isos.Session) [][]int {
+	t.Helper()
+	ctx := context.Background()
+	var out [][]int
+	step := func(sel *isos.Selection, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, append([]int(nil), sel.Positions...))
+	}
+	step(s.Start(ctx, geo.RectAround(geo.Pt(0.5, 0.5), 0.3)))
+	region := s.Viewport().Region
+	step(s.ZoomIn(ctx, region.ScaleAroundCenter(0.6)))
+	step(s.Pan(ctx, geo.Pt(0.05, 0.02)))
+	region = s.Viewport().Region
+	step(s.ZoomOut(ctx, region.ScaleAroundCenter(1.4)))
+	step(s.Pan(ctx, geo.Pt(-0.04, 0.03)))
+	return out
+}
+
+// TestChurnNavigateWhileIngesting is the core race test: one session
+// owner navigating, one writer applying mutation batches, no
+// synchronization between them beyond the store's snapshot publication.
+// Every selection must resolve against the session's pinned view with
+// all positions live there.
+func TestChurnNavigateWhileIngesting(t *testing.T) {
+	// Sized for the race detector: async prefetch recomputes Lemma
+	// bounds on every step, which is the dominant cost here.
+	col := churnCollection(t, 800, 1)
+	muts := churnMutations(t, col, 2000, 2)
+	ls, err := livestore.New(col, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const batch = 32
+		for lo := 0; ctx.Err() == nil; lo = (lo + batch) % (len(muts) - batch) {
+			if _, _, err := ls.Apply(ctx, muts[lo:lo+batch]); err != nil {
+				return
+			}
+		}
+	}()
+
+	cfg := churnSessionCfg(12)
+	cfg.AsyncPrefetch = true
+	s, err := isos.NewSession(ls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	nav := context.Background()
+	if _, err := s.Start(nav, geo.RectAround(geo.Pt(0.5, 0.5), 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 16; i++ {
+		region := s.Viewport().Region
+		var sel *isos.Selection
+		var err error
+		switch i % 4 {
+		case 0:
+			sel, err = s.ZoomIn(nav, region.ScaleAroundCenter(0.7))
+		case 1:
+			sel, err = s.Pan(nav, geo.Pt((rng.Float64()-0.5)*0.1*region.Width(), (rng.Float64()-0.5)*0.1*region.Height()))
+		case 2:
+			sel, err = s.ZoomOut(nav, region.ScaleAroundCenter(1.3))
+		default:
+			err = s.Prefetch(nav)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel == nil {
+			continue
+		}
+		view, _ := s.View()
+		lv := view.(geodata.LiveView)
+		for _, p := range sel.Positions {
+			if !lv.LivePos(p) {
+				t.Fatalf("step %d: selected position %d is not live in the pinned view", i, p)
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestChurnFrozenSnapshotIdentity: a session over Freeze(V) selects
+// bitwise-identically no matter how much churn the parent store absorbs
+// concurrently — the "frozen copy of version V" acceptance criterion.
+func TestChurnFrozenSnapshotIdentity(t *testing.T) {
+	col := churnCollection(t, 2000, 4)
+	muts := churnMutations(t, col, 4000, 5)
+	ls, err := livestore.New(col, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Advance to some version V > 0, then freeze it.
+	if _, _, err := ls.Apply(ctx, muts[:500]); err != nil {
+		t.Fatal(err)
+	}
+	frozen := livestore.Freeze(ls.Current())
+
+	run := func() [][]int {
+		s, err := isos.NewSession(frozen, churnSessionCfg(15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		return navScript(t, s)
+	}
+	before := run()
+
+	// Churn the parent store concurrently with a second frozen run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for lo := 500; lo+50 <= len(muts); lo += 50 {
+			if _, _, err := ls.Apply(ctx, muts[lo:lo+50]); err != nil {
+				return
+			}
+		}
+	}()
+	during := run()
+	<-done
+	after := run()
+
+	for run, got := range map[string][][]int{"during-churn": during, "after-churn": after} {
+		if len(got) != len(before) {
+			t.Fatalf("%s: step count %d vs %d", run, len(got), len(before))
+		}
+		for i := range before {
+			if !equalPositions(before[i], got[i]) {
+				t.Fatalf("%s: step %d selections differ: %v vs %v", run, i, before[i], got[i])
+			}
+		}
+	}
+}
+
+// TestChurnDeletedObjectsNeverAppear deletes a block of objects and
+// asserts no later selection (any op, any session) ever shows them.
+func TestChurnDeletedObjectsNeverAppear(t *testing.T) {
+	col := churnCollection(t, 2000, 6)
+	ls, err := livestore.New(col, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	s, err := isos.NewSession(ls, churnSessionCfg(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sel, err := s.Start(ctx, geo.RectAround(geo.Pt(0.5, 0.5), 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Positions) == 0 {
+		t.Fatal("empty start selection")
+	}
+
+	// Delete every currently displayed object (by external ID).
+	view, _ := s.View()
+	objs := view.Collection().Objects
+	deleted := make(map[int]bool)
+	var muts []livestore.Mutation
+	for _, p := range sel.Positions {
+		deleted[objs[p].ID] = true
+		muts = append(muts, livestore.Mutation{Op: livestore.OpDelete, ID: objs[p].ID})
+	}
+	if _, out, err := ls.Apply(ctx, muts); err != nil || out.Deleted != len(muts) {
+		t.Fatalf("delete batch: out=%+v err=%v", out, err)
+	}
+
+	region := s.Viewport().Region
+	checks := []func() (*isos.Selection, error){
+		func() (*isos.Selection, error) { return s.ZoomIn(ctx, region.ScaleAroundCenter(0.8)) },
+		func() (*isos.Selection, error) { return s.Pan(ctx, geo.Pt(0.01, 0.01)) },
+		func() (*isos.Selection, error) { return s.ZoomOut(ctx, s.Viewport().Region.ScaleAroundCenter(1.2)) },
+	}
+	for i, op := range checks {
+		sel, err := op()
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, _ := s.View()
+		vobjs := view.Collection().Objects
+		for _, p := range sel.Positions {
+			if deleted[vobjs[p].ID] {
+				t.Fatalf("op %d: deleted id %d reappeared at position %d", i, vobjs[p].ID, p)
+			}
+		}
+	}
+
+	// A fresh session sees none of them either.
+	s2, err := isos.NewSession(ls, churnSessionCfg(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sel2, err := s2.Start(ctx, geo.RectAround(geo.Pt(0.5, 0.5), 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view2, _ := s2.View()
+	for _, p := range sel2.Positions {
+		if deleted[view2.Collection().Objects[p].ID] {
+			t.Fatal("deleted object appeared in a fresh session")
+		}
+	}
+}
+
+// TestChurnConcurrentReadersOneWriter hammers snapshot reads from many
+// goroutines while a writer commits epochs — pure View usage, no
+// sessions — to give the race detector the widest read/write overlap.
+func TestChurnConcurrentReadersOneWriter(t *testing.T) {
+	col := churnCollection(t, 1500, 7)
+	muts := churnMutations(t, col, 3000, 8)
+	ls, err := livestore.New(col, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				view, ver := ls.Snapshot()
+				q := geo.RectAround(geo.Pt(rng.Float64(), rng.Float64()), 0.1)
+				pos := view.Region(q)
+				objs := view.Collection().Objects
+				for _, p := range pos {
+					if !q.Contains(objs[p].Loc) {
+						t.Errorf("version %d: position %d outside query region", ver, p)
+						return
+					}
+				}
+				view.CountRegion(q)
+				view.Nearest(q.Min)
+			}
+		}(int64(100 + r))
+	}
+	for lo := 0; lo+16 <= len(muts); lo += 16 {
+		if _, _, err := ls.Apply(ctx, muts[lo:lo+16]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	wg.Wait()
+}
+
+func equalPositions(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package livestore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+)
+
+// BenchmarkEpochCommit measures the incremental grid commit against the
+// full rebuild at a 1%-of-N mutation batch — the BENCH_ingest.json
+// acceptance pair — without the Apply overhead around it.
+func BenchmarkEpochCommit(b *testing.B) {
+	const n = 100000
+	rng := rand.New(rand.NewSource(7))
+	col := geodata.NewCollection()
+	for i := 0; i < n; i++ {
+		col.Add(i, geo.Pt(rng.Float64(), rng.Float64()), rng.Float64(),
+			fmt.Sprintf("cafe bar term%d", i%31))
+	}
+	s, err := New(col, engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	onePct := n / 100
+	dels := make([]posLoc, 0, onePct/2)
+	adds := make([]posLoc, 0, onePct)
+	objs := s.cur.Load().col.Objects
+	for i := 0; i < onePct/2; i++ {
+		p := rng.Intn(n)
+		dels = append(dels, posLoc{pos: int32(p), loc: objs[p].Loc})
+		adds = append(adds, posLoc{pos: int32(n + i), loc: geo.Pt(rng.Float64(), rng.Float64())})
+	}
+	gr := s.gr // the writer's current grid (v0 snapshots read the R-tree)
+	ctx := context.Background()
+
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := gr.commit(ctx, dels, adds, s.parallelism); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := gr.commit(ctx, dels, adds, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		// The v0 snapshot keeps no bitset; build the all-live set the
+		// way RebuildIndex does, outside the timed loop.
+		live := make([]uint64, (len(objs)+63)/64)
+		for i := range objs {
+			setBit(live, i)
+		}
+		for i := 0; i < b.N; i++ {
+			rebuildGrid(objs, live)
+		}
+	})
+}

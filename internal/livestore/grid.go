@@ -1,0 +1,350 @@
+// The incremental spatial index behind live snapshots: a uniform grid
+// whose cell table is copy-on-write. Committing an epoch clones the
+// table of cell-slice headers (one memmove) and rewrites only the cells
+// the mutation delta touches; every untouched cell keeps sharing its
+// id slice with the previous epoch's grid. A full rebuild — what the
+// static path pays — walks every live object; the incremental commit is
+// O(batch + cells), which is what makes high-frequency small batches
+// affordable (see the ingest-churn suite, BENCH_ingest.json).
+package livestore
+
+import (
+	"context"
+	"sort"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/parallel"
+)
+
+// Grid sizing: cells are chosen so the average live cell holds a few
+// objects (targetPerCell), bounded so the per-epoch header clone stays
+// cheap even for huge datasets and the grid stays non-degenerate for
+// tiny ones.
+const (
+	targetPerCell = 8
+	minCells      = 16
+	maxCells      = 1 << 16
+)
+
+// parallelCellCutoff is the number of dirty cells above which an epoch
+// commit rewrites cells on the shared worker pool instead of serially.
+const parallelCellCutoff = 256
+
+// cowGrid is one epoch's immutable uniform grid over live positions.
+// The cells table is private to its snapshot; the id slices inside it
+// are shared with neighboring epochs and must never be written.
+type cowGrid struct {
+	bounds geo.Rect
+	cell   float64
+	nx, ny int
+	cells  [][]int32
+}
+
+// gridGeometry derives the fixed cell layout from the seed bounds and
+// object count. Bounds are padded so seed points sit strictly inside;
+// later inserts outside the padded bounds clamp to edge cells, which
+// region queries handle by filtering on true coordinates.
+func gridGeometry(b geo.Rect, n int) (geo.Rect, float64, int, int) {
+	w, h := b.Width(), b.Height()
+	pad := 0.005 * (w + h)
+	if pad <= 0 {
+		pad = 1e-9
+	}
+	b = geo.Rect{
+		Min: geo.Pt(b.Min.X-pad, b.Min.Y-pad),
+		Max: geo.Pt(b.Max.X+pad, b.Max.Y+pad),
+	}
+	target := n / targetPerCell
+	if target < minCells {
+		target = minCells
+	}
+	if target > maxCells {
+		target = maxCells
+	}
+	w, h = b.Width(), b.Height()
+	cell := sqrtPos(w * h / float64(target))
+	if cell <= 0 {
+		cell = 1e-9
+	}
+	nx := int(w/cell) + 1
+	ny := int(h/cell) + 1
+	return b, cell, nx, ny
+}
+
+// sqrtPos is a Newton square root for non-negative inputs, avoiding a
+// math import for one call site.
+func sqrtPos(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	if g > 1 {
+		g = x / 2
+	}
+	for i := 0; i < 64; i++ {
+		n := 0.5 * (g + x/g)
+		if n == g {
+			break
+		}
+		g = n
+	}
+	return g
+}
+
+func (g *cowGrid) cellCoords(p geo.Point) (int, int) {
+	cx := int((p.X - g.bounds.Min.X) / g.cell)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+func (g *cowGrid) cellKey(p geo.Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.nx + cx
+}
+
+// rebuildGrid builds a grid from scratch over the live objects — the
+// cost an epoch commit avoids. Used once at store construction and by
+// RebuildIndex as the benchmark comparator.
+func rebuildGrid(objs []geodata.Object, live []uint64) *cowGrid {
+	b := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}
+	first := true
+	n := 0
+	for i := range objs {
+		if !bitSet(live, i) {
+			continue
+		}
+		n++
+		pr := geo.Rect{Min: objs[i].Loc, Max: objs[i].Loc}
+		if first {
+			b, first = pr, false
+		} else {
+			b = b.Union(pr)
+		}
+	}
+	bounds, cell, nx, ny := gridGeometry(b, n)
+	g := &cowGrid{bounds: bounds, cell: cell, nx: nx, ny: ny, cells: make([][]int32, nx*ny)}
+	for i := range objs {
+		if !bitSet(live, i) {
+			continue
+		}
+		k := g.cellKey(objs[i].Loc)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+// posLoc pairs a collection position with its location, the unit of the
+// grid mutation delta.
+type posLoc struct {
+	pos int32
+	loc geo.Point
+}
+
+// commit returns the next epoch's grid: the cell table cloned, plus the
+// delta applied cell by cell. dels and adds carry the positions leaving
+// and entering the index with their locations. Dirty cells are rewritten
+// on the pool when the delta is large; each task owns one distinct cell,
+// so the parallel path is race-free by partitioning.
+func (g *cowGrid) commit(ctx context.Context, dels, adds []posLoc, workers int) (*cowGrid, int, error) {
+	next := &cowGrid{bounds: g.bounds, cell: g.cell, nx: g.nx, ny: g.ny}
+	next.cells = make([][]int32, len(g.cells))
+	copy(next.cells, g.cells)
+
+	// Group the delta by cell without maps: a direct-address table from
+	// cell key to a dense delta record (the table is O(cells) zeroed
+	// int32s — far cheaper than the map allocations it replaces, which
+	// dominated commit time at realistic batch sizes). Per-cell delete
+	// membership is a linear scan: cells average targetPerCell entries
+	// and deltas per cell are small, so a scan beats a hash set.
+	type cellDelta struct {
+		key  int
+		dels []int32
+		adds []int32
+	}
+	at := make([]int32, len(g.cells)) // key -> index+1 into deltas
+	var deltas []cellDelta
+	touch := func(k int) *cellDelta {
+		if at[k] == 0 {
+			deltas = append(deltas, cellDelta{key: k})
+			at[k] = int32(len(deltas))
+		}
+		return &deltas[at[k]-1]
+	}
+	for _, pl := range dels {
+		d := touch(g.cellKey(pl.loc))
+		d.dels = append(d.dels, pl.pos)
+	}
+	for _, pl := range adds {
+		d := touch(g.cellKey(pl.loc))
+		d.adds = append(d.adds, pl.pos)
+	}
+
+	// One arena backs every rewritten cell: each dirty cell owns the
+	// disjoint region [offs[i], offs[i+1]) sized to its upper bound
+	// (old length + adds), so the parallel path is race-free by
+	// partitioning and the whole rewrite costs one allocation.
+	offs := make([]int, len(deltas)+1)
+	for i := range deltas {
+		offs[i+1] = offs[i] + len(next.cells[deltas[i].key]) + len(deltas[i].adds)
+	}
+	arena := make([]int32, offs[len(deltas)])
+
+	rewrite := func(i int) {
+		d := &deltas[i]
+		out := arena[offs[i]:offs[i]:offs[i+1]]
+		for _, id := range next.cells[d.key] {
+			if contains32(d.dels, id) {
+				continue
+			}
+			out = append(out, id)
+		}
+		out = append(out, d.adds...)
+		next.cells[d.key] = out
+	}
+	if len(deltas) >= parallelCellCutoff && workers != 1 {
+		pool := parallel.New(workers)
+		defer pool.Close()
+		if err := pool.Run(ctx, len(deltas), rewrite); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		for i := range deltas {
+			rewrite(i)
+		}
+	}
+	return next, len(deltas), nil
+}
+
+// contains32 reports whether v occurs in s (small-slice membership).
+func contains32(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// region appends to dst the positions of live objects inside r, in
+// ascending position order (the deterministic contract Region promises),
+// and returns the extended slice.
+func (g *cowGrid) region(objs []geodata.Object, r geo.Rect, dst []int) []int {
+	if !r.Valid() {
+		return dst
+	}
+	cx0, cy0 := g.cellCoords(r.Min)
+	cx1, cy1 := g.cellCoords(r.Max)
+	start := len(dst)
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.nx
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range g.cells[row+cx] {
+				if r.Contains(objs[id].Loc) {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// countRegion counts live objects inside r.
+func (g *cowGrid) countRegion(objs []geodata.Object, r geo.Rect) int {
+	if !r.Valid() {
+		return 0
+	}
+	cx0, cy0 := g.cellCoords(r.Min)
+	cx1, cy1 := g.cellCoords(r.Max)
+	n := 0
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.nx
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range g.cells[row+cx] {
+				if r.Contains(objs[id].Loc) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// nearest returns the position of the closest indexed object to p (ties
+// broken toward the smaller position). It expands cell rings around p's
+// cell and stops once no unvisited ring can beat the best hit; a query
+// point outside the grid bounds falls back to a full scan, where the
+// ring lower bound does not hold.
+func (g *cowGrid) nearest(objs []geodata.Object, p geo.Point) (int, bool) {
+	best, bestD2 := -1, 0.0
+	consider := func(id int32) {
+		d2 := objs[id].Loc.Dist2(p)
+		if best < 0 || d2 < bestD2 || (d2 == bestD2 && int(id) < best) {
+			best, bestD2 = int(id), d2
+		}
+	}
+	if !g.bounds.Contains(p) {
+		for _, cell := range g.cells {
+			for _, id := range cell {
+				consider(id)
+			}
+		}
+		return best, best >= 0
+	}
+	qcx, qcy := g.cellCoords(p)
+	maxR := g.nx
+	if g.ny > maxR {
+		maxR = g.ny
+	}
+	for r := 0; r <= maxR; r++ {
+		if best >= 0 {
+			// Every point in ring r is at least (r-1) cells away from p,
+			// which sits inside its own cell.
+			lower := float64(r-1) * g.cell
+			if lower > 0 && lower*lower > bestD2 {
+				break
+			}
+		}
+		for cy := qcy - r; cy <= qcy+r; cy++ {
+			if cy < 0 || cy >= g.ny {
+				continue
+			}
+			for cx := qcx - r; cx <= qcx+r; cx++ {
+				if cx < 0 || cx >= g.nx {
+					continue
+				}
+				// Ring r only: skip the interior already visited.
+				if cx != qcx-r && cx != qcx+r && cy != qcy-r && cy != qcy+r {
+					continue
+				}
+				for _, id := range g.cells[cy*g.nx+cx] {
+					consider(id)
+				}
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+// bitset helpers shared by the store and its snapshots.
+
+func bitSet(bits []uint64, i int) bool {
+	w := i >> 6
+	return w < len(bits) && bits[w]&(1<<(uint(i)&63)) != 0
+}
+
+func setBit(bits []uint64, i int)   { bits[i>>6] |= 1 << (uint(i) & 63) }
+func clearBit(bits []uint64, i int) { bits[i>>6] &^= 1 << (uint(i) & 63) }

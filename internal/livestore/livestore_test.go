@@ -1,0 +1,389 @@
+package livestore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+)
+
+func testCollection(t *testing.T, n int, seed int64) *geodata.Collection {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	col := geodata.NewCollection()
+	for i := 0; i < n; i++ {
+		col.Add(i, geo.Pt(rng.Float64(), rng.Float64()), rng.Float64(),
+			fmt.Sprintf("poi term%d term%d", i%7, i%13))
+	}
+	return col
+}
+
+func mustNew(t *testing.T, col *geodata.Collection) *Store {
+	t.Helper()
+	s, err := New(col, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// refRegion is the reference implementation Region is checked against:
+// a linear scan over live slots, ascending.
+func refRegion(sn *Snapshot, r geo.Rect) []int {
+	var out []int
+	for i, o := range sn.Collection().Objects {
+		if sn.LivePos(i) && r.Contains(o.Loc) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestApplySemantics(t *testing.T) {
+	ctx := context.Background()
+	s := mustNew(t, testCollection(t, 10, 1))
+
+	v, out, err := s.Apply(ctx, []Mutation{
+		{Op: OpInsert, ID: 100, Loc: geo.Pt(0.5, 0.5), Weight: 0.5, Text: "new"},
+		{Op: OpUpdate, ID: 3, Loc: geo.Pt(0.1, 0.1), Weight: 0.9, Text: "moved"},
+		{Op: OpDelete, ID: 7},
+		{Op: OpDelete, ID: 999}, // missing -> Missed
+		{Op: OpInsert, ID: 3, Loc: geo.Pt(0.2, 0.2), Weight: 0.3, Text: "upsert"}, // live -> update
+		{Op: OpUpdate, ID: 888, Loc: geo.Pt(0, 0), Weight: 0.1},                   // missing -> Missed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+	want := Outcome{Inserted: 1, Updated: 2, Deleted: 1, Missed: 2}
+	if out != want {
+		t.Fatalf("outcome = %+v, want %+v", out, want)
+	}
+	sn := s.Current()
+	if sn.Len() != 10 { // 10 seed + 1 insert - 1 delete ... wait: 10 +1 -1 = 10
+		t.Fatalf("live = %d, want 10", sn.Len())
+	}
+	// ID 3 was updated twice: its final state is the upsert's.
+	st := s.Stats()
+	if st.Slots != 13 { // 10 seed + 1 insert + 2 update appends
+		t.Fatalf("slots = %d, want 13", st.Slots)
+	}
+	if st.DeadSlots != 3 {
+		t.Fatalf("dead slots = %d, want 3", st.DeadSlots)
+	}
+	objs := sn.Collection().Objects
+	found := false
+	for i := range objs {
+		if objs[i].ID == 3 && sn.LivePos(i) {
+			found = true
+			if objs[i].Text != "upsert" || objs[i].Loc != geo.Pt(0.2, 0.2) {
+				t.Fatalf("id 3 final state = %+v", objs[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("id 3 not live after update chain")
+	}
+}
+
+func TestInsertThenDeleteInOneBatch(t *testing.T) {
+	ctx := context.Background()
+	s := mustNew(t, testCollection(t, 5, 1))
+	_, out, err := s.Apply(ctx, []Mutation{
+		{Op: OpInsert, ID: 50, Loc: geo.Pt(0.5, 0.5), Weight: 0.5},
+		{Op: OpDelete, ID: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Inserted != 1 || out.Deleted != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	sn := s.Current()
+	if sn.Len() != 5 {
+		t.Fatalf("live = %d, want 5", sn.Len())
+	}
+	// The staged slot exists but is dead and unindexed.
+	if got := refRegion(sn, geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}); len(got) != 5 {
+		t.Fatalf("region sees %d objects, want 5", len(got))
+	}
+	if sn.LivePos(5) {
+		t.Fatal("staged-then-deleted slot reported live")
+	}
+}
+
+func TestEmptyAndNoopBatchesKeepVersion(t *testing.T) {
+	ctx := context.Background()
+	s := mustNew(t, testCollection(t, 5, 1))
+	if v, _, err := s.Apply(ctx, nil); err != nil || v != 0 {
+		t.Fatalf("empty batch: v=%d err=%v, want v=0", v, err)
+	}
+	if v, out, err := s.Apply(ctx, []Mutation{{Op: OpDelete, ID: 12345}}); err != nil || v != 0 || out.Missed != 1 {
+		t.Fatalf("all-missed batch: v=%d out=%+v err=%v, want v=0 missed=1", v, out, err)
+	}
+	if _, ver := s.Snapshot(); ver != 0 {
+		t.Fatalf("published version = %d, want 0", ver)
+	}
+}
+
+func TestApplyIsAtomicOnInvalidMutation(t *testing.T) {
+	ctx := context.Background()
+	s := mustNew(t, testCollection(t, 5, 1))
+	_, _, err := s.Apply(ctx, []Mutation{
+		{Op: OpInsert, ID: 50, Loc: geo.Pt(0.5, 0.5), Weight: 0.5},
+		{Op: OpInsert, ID: 51, Loc: geo.Pt(0.5, 0.5), Weight: 1.5}, // invalid weight
+	})
+	if err == nil {
+		t.Fatal("want validation error")
+	}
+	if _, ver := s.Snapshot(); ver != 0 {
+		t.Fatalf("failed batch advanced version to %d", ver)
+	}
+	if s.Current().Len() != 5 {
+		t.Fatal("failed batch changed the object set")
+	}
+}
+
+func TestDuplicateSeedIDRejected(t *testing.T) {
+	col := geodata.NewCollection()
+	col.Add(1, geo.Pt(0.1, 0.1), 0.5, "")
+	col.Add(1, geo.Pt(0.2, 0.2), 0.5, "")
+	if _, err := New(col, engine.Config{}); err == nil {
+		t.Fatal("want duplicate-id error")
+	}
+}
+
+func TestRegionMatchesReferenceAcrossEpochs(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	s := mustNew(t, testCollection(t, 400, 2))
+	queries := []geo.Rect{
+		{Min: geo.Pt(0.1, 0.1), Max: geo.Pt(0.4, 0.4)},
+		{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)},
+		{Min: geo.Pt(0.45, 0.05), Max: geo.Pt(0.55, 0.95)},
+		{Min: geo.Pt(0.9, 0.9), Max: geo.Pt(0.99, 0.99)},
+	}
+	nextID := 1000
+	for epoch := 0; epoch < 30; epoch++ {
+		var muts []Mutation
+		for j := 0; j < 20; j++ {
+			switch rng.Intn(3) {
+			case 0:
+				muts = append(muts, Mutation{Op: OpInsert, ID: nextID, Loc: geo.Pt(rng.Float64(), rng.Float64()), Weight: rng.Float64()})
+				nextID++
+			case 1:
+				muts = append(muts, Mutation{Op: OpUpdate, ID: rng.Intn(nextID), Loc: geo.Pt(rng.Float64(), rng.Float64()), Weight: rng.Float64()})
+			default:
+				muts = append(muts, Mutation{Op: OpDelete, ID: rng.Intn(nextID)})
+			}
+		}
+		if _, _, err := s.Apply(ctx, muts); err != nil {
+			t.Fatal(err)
+		}
+		sn := s.Current()
+		for _, q := range queries {
+			got := sn.Region(q)
+			want := refRegion(sn, q)
+			if !equalInts(got, want) {
+				t.Fatalf("epoch %d: Region(%v) = %v, want %v", epoch, q, got, want)
+			}
+			if c := sn.CountRegion(q); c != len(want) {
+				t.Fatalf("epoch %d: CountRegion = %d, want %d", epoch, c, len(want))
+			}
+		}
+		// Nearest against a linear scan.
+		p := geo.Pt(rng.Float64(), rng.Float64())
+		got, ok := sn.Nearest(p)
+		bestPos, bestD2 := -1, 0.0
+		for i, o := range sn.Collection().Objects {
+			if !sn.LivePos(i) {
+				continue
+			}
+			d2 := o.Loc.Dist2(p)
+			if bestPos < 0 || d2 < bestD2 {
+				bestPos, bestD2 = i, d2
+			}
+		}
+		if !ok || got < 0 {
+			t.Fatalf("epoch %d: Nearest failed", epoch)
+		}
+		if d2 := sn.Collection().Objects[got].Loc.Dist2(p); d2 != bestD2 {
+			t.Fatalf("epoch %d: Nearest dist2 %v, want %v", epoch, d2, bestD2)
+		}
+	}
+}
+
+func TestBoundsTracksLiveSet(t *testing.T) {
+	ctx := context.Background()
+	col := geodata.NewCollection()
+	col.Add(1, geo.Pt(0.1, 0.1), 0.5, "")
+	col.Add(2, geo.Pt(0.9, 0.9), 0.5, "")
+	col.Add(3, geo.Pt(0.5, 0.5), 0.5, "")
+	s := mustNew(t, col)
+	if _, _, err := s.Apply(ctx, []Mutation{{Op: OpDelete, ID: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.Current().Bounds()
+	if !ok {
+		t.Fatal("bounds not ok")
+	}
+	want := geo.Rect{Min: geo.Pt(0.1, 0.1), Max: geo.Pt(0.5, 0.5)}
+	if b != want {
+		t.Fatalf("bounds = %v, want %v", b, want)
+	}
+}
+
+func TestEnqueueFlushesAtBatchSize(t *testing.T) {
+	ctx := context.Background()
+	col := testCollection(t, 5, 1)
+	s, err := New(col, engine.Config{IngestBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, flushed, _, err := s.Enqueue(ctx, Mutation{Op: OpInsert, ID: 100 + i, Loc: geo.Pt(0.5, 0.5), Weight: 0.5})
+		if err != nil || flushed {
+			t.Fatalf("enqueue %d: flushed=%v err=%v", i, flushed, err)
+		}
+	}
+	if st := s.Stats(); st.Pending != 2 {
+		t.Fatalf("pending = %d, want 2", st.Pending)
+	}
+	v, flushed, out, err := s.Enqueue(ctx, Mutation{Op: OpInsert, ID: 102, Loc: geo.Pt(0.5, 0.5), Weight: 0.5})
+	if err != nil || !flushed || v != 1 || out.Inserted != 3 {
+		t.Fatalf("third enqueue: v=%d flushed=%v out=%+v err=%v", v, flushed, out, err)
+	}
+	if st := s.Stats(); st.Pending != 0 || st.Version != 1 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+	// Manual flush of a partial buffer.
+	if _, _, _, err := s.Enqueue(ctx, Mutation{Op: OpDelete, ID: 100}); err != nil {
+		t.Fatal(err)
+	}
+	v, out, err = s.Flush(ctx)
+	if err != nil || v != 2 || out.Deleted != 1 {
+		t.Fatalf("flush: v=%d out=%+v err=%v", v, out, err)
+	}
+}
+
+func TestFreezePinsAVersion(t *testing.T) {
+	ctx := context.Background()
+	s := mustNew(t, testCollection(t, 50, 3))
+	world := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}
+	if _, _, err := s.Apply(ctx, []Mutation{{Op: OpInsert, ID: 500, Loc: geo.Pt(0.5, 0.5), Weight: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	frozenSrc := Freeze(s.Current())
+	fv, fver := frozenSrc.Snapshot()
+	before := append([]int(nil), fv.Region(world)...)
+
+	// Heavy churn after the freeze.
+	for i := 0; i < 20; i++ {
+		if _, _, err := s.Apply(ctx, []Mutation{
+			{Op: OpInsert, ID: 1000 + i, Loc: geo.Pt(0.5, 0.5), Weight: 0.5},
+			{Op: OpDelete, ID: i},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fv2, fver2 := frozenSrc.Snapshot()
+	if fver2 != fver {
+		t.Fatalf("frozen version moved: %d -> %d", fver, fver2)
+	}
+	if got := fv2.Region(world); !equalInts(got, before) {
+		t.Fatal("frozen snapshot's region changed under churn")
+	}
+	if _, cur := s.Snapshot(); cur == fver {
+		t.Fatal("store did not advance")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []TimedMutation{
+		{Seq: 0, AtMs: 0, Mutation: Mutation{Op: OpInsert, ID: 1, Loc: geo.Pt(0.25, 0.75), Weight: 0.5, Text: "a b"}},
+		{Seq: 1, AtMs: 3, Mutation: Mutation{Op: OpUpdate, ID: 1, Loc: geo.Pt(0.5, 0.5), Weight: 0.25}},
+		{Seq: 2, AtMs: 9, Mutation: Mutation{Op: OpDelete, ID: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	if _, err := ReadTrace(bytes.NewBufferString(`{"op":"noop","id":1}` + "\n")); err == nil {
+		t.Fatal("want unknown-op error")
+	}
+}
+
+func TestRebuildIndexCountsLiveObjects(t *testing.T) {
+	ctx := context.Background()
+	s := mustNew(t, testCollection(t, 64, 4))
+	if got := RebuildIndex(s.Current()); got != 64 {
+		t.Fatalf("v0 index entries = %d, want 64", got)
+	}
+	if _, _, err := s.Apply(ctx, []Mutation{{Op: OpDelete, ID: 0}, {Op: OpDelete, ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := RebuildIndex(s.Current()); got != 62 {
+		t.Fatalf("index entries = %d, want 62", got)
+	}
+}
+
+// TestLargeBatchParallelCommit pushes a batch large enough to cross the
+// parallel dirty-cell rewrite cutoff with Parallelism 0 (all CPUs).
+func TestLargeBatchParallelCommit(t *testing.T) {
+	ctx := context.Background()
+	col := testCollection(t, 5000, 5)
+	s, err := New(col, engine.Config{Parallelism: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var muts []Mutation
+	for i := 0; i < 3000; i++ {
+		muts = append(muts, Mutation{Op: OpInsert, ID: 10000 + i, Loc: geo.Pt(rng.Float64(), rng.Float64()), Weight: rng.Float64()})
+	}
+	if _, _, err := s.Apply(ctx, muts); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Current()
+	world := geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}
+	got := sn.Region(world)
+	want := refRegion(sn, world)
+	if !equalInts(got, want) {
+		t.Fatalf("parallel commit region mismatch: %d vs %d entries", len(got), len(want))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("Region result not ascending")
+	}
+}

@@ -142,17 +142,20 @@ func assertEnvelopeBounds(objs []geodata.Object, envelopePos []int, m sim.Metric
 }
 
 // ZoomInBounds precomputes upper bounds for all objects of the current
-// region (any zoom-in target is contained in it), per Lemma 5.1.
-func ZoomInBounds(ctx context.Context, store *geodata.Store, region geo.Rect, m sim.Metric, workers int) (map[int]float64, error) {
-	return PairwiseBounds(ctx, store.Collection(), store.Region(region), m, workers)
+// region (any zoom-in target is contained in it), per Lemma 5.1. The
+// view is any pinned geodata.View — a static store or one livestore
+// snapshot; bounds are only valid against the exact view they were
+// computed from (the session discards them on a version change).
+func ZoomInBounds(ctx context.Context, view geodata.View, region geo.Rect, m sim.Metric, workers int) (map[int]float64, error) {
+	return PairwiseBounds(ctx, view.Collection(), view.Region(region), m, workers)
 }
 
 // ZoomOutBounds precomputes upper bounds for all objects of the
 // zoom-out envelope (the union of all possible zoom-out regions up to
 // maxScale× the current side length), per Lemma 5.2.
-func ZoomOutBounds(ctx context.Context, store *geodata.Store, vp geo.Viewport, maxScale float64, m sim.Metric, workers int) (map[int]float64, error) {
+func ZoomOutBounds(ctx context.Context, view geodata.View, vp geo.Viewport, maxScale float64, m sim.Metric, workers int) (map[int]float64, error) {
 	env := vp.ZoomOutEnvelope(maxScale)
-	return PairwiseBounds(ctx, store.Collection(), store.Region(env), m, workers)
+	return PairwiseBounds(ctx, view.Collection(), view.Region(env), m, workers)
 }
 
 // PanBounds precomputes upper bounds for all objects of the panning
@@ -161,12 +164,12 @@ func ZoomOutBounds(ctx context.Context, store *geodata.Store, vp geo.Viewport, m
 // centered at o with twice the old region's width — every possible
 // panned region containing o lies inside that intersection. Each worker
 // owns one envelope object: it performs the per-object window query
-// (the store's R-tree search is read-only and safe to share) and
+// (views are immutable, so their region search is safe to share) and
 // accumulates that object's bound.
-func PanBounds(ctx context.Context, store *geodata.Store, vp geo.Viewport, m sim.Metric, workers int) (map[int]float64, error) {
+func PanBounds(ctx context.Context, view geodata.View, vp geo.Viewport, m sim.Metric, workers int) (map[int]float64, error) {
 	env := vp.PanEnvelope()
-	envPos := store.Region(env)
-	col := store.Collection()
+	envPos := view.Region(env)
+	col := view.Collection()
 	objs := col.Objects
 	w := vp.Region.Width()
 	h := vp.Region.Height()
@@ -199,7 +202,7 @@ func PanBounds(ctx context.Context, store *geodata.Store, vp geo.Viewport, m sim
 			return
 		}
 		var sum float64
-		for _, q := range store.Region(window) {
+		for _, q := range view.Region(window) {
 			sum += objs[q].Weight * m.Sim(o, &objs[q])
 		}
 		sums[i] = sum

@@ -28,10 +28,15 @@ import (
 	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
+	"geosel/internal/livestore"
 )
 
 // maxBodyBytes bounds request bodies; selection requests are tiny.
 const maxBodyBytes = 1 << 20
+
+// maxIngestBodyBytes bounds /ingest bodies, which carry whole mutation
+// batches.
+const maxIngestBodyBytes = 64 << 20
 
 // sessionEntry is one live session plus its serving metadata. Per-entry
 // locking lets a slow selection on one session proceed concurrently
@@ -53,8 +58,12 @@ type sessionEntry struct {
 // mutating setters, so a Server is safe for concurrent requests from
 // the moment it is constructed.
 type Server struct {
-	store *geodata.Store
-	cfg   engine.Config
+	src geodata.Source
+	// live is the source's writer half when the server was built over a
+	// *livestore.Store; nil for a static store, in which case the ingest
+	// endpoints answer 501.
+	live *livestore.Store
+	cfg  engine.Config
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
@@ -64,21 +73,28 @@ type Server struct {
 	now func() time.Time
 }
 
-// New returns a server over the given store. cfg must carry at least
-// the Metric; K and ThetaFrac arrive per request. Zero-valued serving
-// fields take the engine defaults (SessionTTL 15m, MaxSessions 1024;
-// RequestTimeout 0 = no server-side deadline), and a negative
-// SessionTTL disables TTL eviction.
-func New(store *geodata.Store, cfg engine.Config) (*Server, error) {
-	if store == nil {
-		return nil, fmt.Errorf("server: nil store")
+// New returns a server over the given source — a static *geodata.Store
+// or a live *livestore.Store. With a live store the mutation endpoints
+// (POST /ingest, DELETE /objects/{id}, GET /store/stats) are active and
+// every read request pins the then-current snapshot; with a static
+// store they answer 501 and reads see the one version-0 view.
+//
+// cfg must carry at least the Metric; K and ThetaFrac arrive per
+// request. Zero-valued serving fields take the engine defaults
+// (SessionTTL 15m, MaxSessions 1024; RequestTimeout 0 = no server-side
+// deadline), and a negative SessionTTL disables TTL eviction.
+func New(src geodata.Source, cfg engine.Config) (*Server, error) {
+	if src == nil {
+		return nil, fmt.Errorf("server: nil source")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.WithDefaults()
+	live, _ := src.(*livestore.Store)
 	return &Server{
-		store:    store,
+		src:      src,
+		live:     live,
 		cfg:      cfg,
 		sessions: make(map[string]*sessionEntry),
 		now:      time.Now,
@@ -134,6 +150,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/prefetch", s.handlePrefetch)
 	mux.HandleFunc("POST /sessions/{id}/back", s.handleBack)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("DELETE /objects/{id}", s.handleDeleteObject)
+	mux.HandleFunc("GET /store/stats", s.handleStoreStats)
 	return mux
 }
 
@@ -167,8 +186,13 @@ type selectionJSON struct {
 	ResponseMs    float64      `json:"responseMs,omitempty"`
 }
 
-func (s *Server) objectsFor(positions []int) []objectJSON {
-	objs := s.store.Collection().Objects
+// objectsFor renders positions against the view they were selected on.
+// Passing the pinned view (not a fresh source snapshot) matters under
+// live ingestion: positions must be resolved on a snapshot at least as
+// new as the one that produced them, which the pinned view is by
+// construction.
+func objectsFor(view geodata.View, positions []int) []objectJSON {
+	objs := view.Collection().Objects
 	out := make([]objectJSON, 0, len(positions))
 	for _, p := range positions {
 		o := &objs[p]
@@ -180,9 +204,12 @@ func (s *Server) objectsFor(positions []int) []objectJSON {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	view, version := s.src.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"objects": s.store.Len(),
+		"objects": view.Len(),
+		"version": version,
+		"live":    s.live != nil,
 	})
 }
 
@@ -210,8 +237,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	regionPos := s.store.Region(region)
-	objs := s.store.Collection().Subset(regionPos)
+	// Pin one snapshot for the whole request: region fetch, selection
+	// and rendering all see the same consistent version even while
+	// /ingest commits new epochs concurrently.
+	view, _ := s.src.Snapshot()
+	regionPos := view.Region(region)
+	objs := view.Collection().Subset(regionPos)
 	cfg := s.cfg
 	cfg.K = req.K
 	cfg.Theta = req.ThetaFrac * region.Width()
@@ -226,7 +257,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		positions[i] = regionPos[p]
 	}
 	writeJSON(w, http.StatusOK, selectionJSON{
-		Objects:       s.objectsFor(positions),
+		Objects:       objectsFor(view, positions),
 		Score:         res.Score,
 		RegionObjects: len(regionPos),
 	})
@@ -250,7 +281,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if req.TilesPerSide > 0 {
 		cfg.TilesPerSide = req.TilesPerSide
 	}
-	sess, err := isos.NewSession(s.store, cfg)
+	sess, err := isos.NewSession(s.src, cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -356,13 +387,14 @@ func (s *Server) sessionOp(kind opKind) http.HandlerFunc {
 		default:
 			sel, err = ent.sess.Pan(ctx, geo.Pt(req.DX, req.DY))
 		}
+		view, _ := ent.sess.View()
 		ent.mu.Unlock()
 		if err != nil {
 			writeError(w, ctxStatus(err), err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, selectionJSON{
-			Objects:       s.objectsFor(sel.Positions),
+			Objects:       objectsFor(view, sel.Positions),
 			Score:         sel.Score,
 			RegionObjects: sel.RegionObjects,
 			Prefetched:    sel.Prefetched,
@@ -420,13 +452,14 @@ func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
 	}
 	ent.mu.Lock()
 	sel, err := ent.sess.Back()
+	view, _ := ent.sess.View()
 	ent.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, selectionJSON{
-		Objects:       s.objectsFor(sel.Positions),
+		Objects:       objectsFor(view, sel.Positions),
 		RegionObjects: sel.RegionObjects,
 	})
 }
@@ -443,6 +476,122 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	}
 	ent.sess.Close()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// requireLive answers 501 and returns nil unless the server runs a live
+// store.
+func (s *Server) requireLive(w http.ResponseWriter) *livestore.Store {
+	if s.live == nil {
+		writeError(w, http.StatusNotImplemented, "live ingestion not enabled: server runs a static store")
+		return nil
+	}
+	return s.live
+}
+
+// mutationJSON is the wire form of one mutation.
+type mutationJSON struct {
+	Op     string  `json:"op"`
+	ID     int     `json:"id"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Weight float64 `json:"weight"`
+	Text   string  `json:"text,omitempty"`
+}
+
+// ingestRequest is the /ingest body: a batch of mutations committed as
+// one epoch.
+type ingestRequest struct {
+	Mutations []mutationJSON `json:"mutations"`
+}
+
+// ingestResponse reports the committed epoch.
+type ingestResponse struct {
+	Version  uint64 `json:"version"`
+	Inserted int    `json:"inserted"`
+	Updated  int    `json:"updated"`
+	Deleted  int    `json:"deleted"`
+	Missed   int    `json:"missed"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	live := s.requireLive(w)
+	if live == nil {
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	muts := make([]livestore.Mutation, 0, len(req.Mutations))
+	for i, m := range req.Mutations {
+		op, err := livestore.ParseOp(m.Op)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("mutation %d: %v", i, err))
+			return
+		}
+		muts = append(muts, livestore.Mutation{
+			Op: op, ID: m.ID, Loc: geo.Pt(m.X, m.Y), Weight: m.Weight, Text: m.Text,
+		})
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	version, out, err := live.Apply(ctx, muts)
+	if err != nil {
+		writeError(w, ctxStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Version: version, Inserted: out.Inserted, Updated: out.Updated,
+		Deleted: out.Deleted, Missed: out.Missed,
+	})
+}
+
+func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+	live := s.requireLive(w)
+	if live == nil {
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "object id must be an integer")
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	version, out, err := live.Apply(ctx, []livestore.Mutation{{Op: livestore.OpDelete, ID: id}})
+	if err != nil {
+		writeError(w, ctxStatus(err), err.Error())
+		return
+	}
+	if out.Deleted == 0 {
+		writeError(w, http.StatusNotFound, "unknown object")
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Version: version, Deleted: out.Deleted})
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
+	live := s.requireLive(w)
+	if live == nil {
+		return
+	}
+	st := live.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":   st.Version,
+		"live":      st.Live,
+		"slots":     st.Slots,
+		"deadSlots": st.DeadSlots,
+		"pending":   st.Pending,
+		"batches":   st.Batches,
+		"mutations": st.Mutations,
+		"inserted":  st.Totals.Inserted,
+		"updated":   st.Totals.Updated,
+		"deleted":   st.Totals.Deleted,
+		"missed":    st.Totals.Missed,
+	})
 }
 
 // decode reads a JSON body into dst, writing a 400 on failure.

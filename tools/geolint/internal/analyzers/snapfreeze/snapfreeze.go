@@ -1,0 +1,240 @@
+// Package snapfreeze enforces the live store's snapshot-ownership
+// contract: a geodata.View hands out pointers into epoch-shared state —
+// the *geodata.Collection and the object slice behind it are owned by
+// the snapshot and shared, unsynchronized, with every other reader and
+// with the writer's append tail. Code outside the owning packages
+// (internal/geodata and internal/livestore) must treat anything
+// reachable from View.Collection() as frozen: no element writes, no
+// field replacement, no calls to the collection's mutating methods
+// (Add, ApplyTFIDF). A violation is a data race against concurrent
+// epoch commits and — worse — silently corrupts every session pinned to
+// the same snapshot.
+//
+// The check is structural and intra-function, which is where every
+// realistic violation lives: it tracks identifiers assigned from a
+// `<view>.Collection()` call (and slice aliases of their .Objects
+// field) through straight-line code, and flags
+//
+//   - writes through the collection: c.Objects = …, c.Vocab = …,
+//     c.Objects[i] = …, c.Objects[i].Weight = …;
+//   - writes through a retained alias: objs := c.Objects; objs[i] = …;
+//   - mutating method calls: c.Add(…), c.ApplyTFIDF().
+//
+// Reads are free, as is append on an alias: snapshots cap their object
+// slice (objs[:n:n]), so append always reallocates instead of racing
+// the writer's tail. Deliberate ownership transfers — a test that
+// builds a throwaway store around a collection it just constructed, a
+// tool that explicitly clones — annotate the statement with
+// "//geolint:owner".
+package snapfreeze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+// geodataPathSuffix identifies the collection-owning package by
+// import-path suffix, so the check works both on the real module and on
+// the self-contained testdata module.
+const geodataPathSuffix = "internal/geodata"
+
+// ownerPathSuffixes are the packages allowed to mutate snapshot state:
+// the type's home and the store that builds snapshots.
+var ownerPathSuffixes = []string{"internal/geodata", "internal/livestore"}
+
+// mutators are the *geodata.Collection methods that mutate it.
+var mutators = map[string]bool{"Add": true, "ApplyTFIDF": true}
+
+// Analyzer is the snapfreeze check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapfreeze",
+	Doc:  "flags code outside the snapshot owners that mutates collections or slices obtained from a geodata.View",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, suffix := range ownerPathSuffixes {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc tracks snapshot-owned values through one function body and
+// reports mutations of them. Tracking is flow-insensitive over the
+// body's assignments (collected first), which over-approximates safely:
+// an identifier that ever holds snapshot-owned state is treated as
+// owned everywhere in the function.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ownedCols := map[types.Object]bool{}   // idents holding a view-derived *Collection
+	ownedSlices := map[types.Object]bool{} // idents aliasing a view-derived .Objects slice
+
+	// Ownership propagates through chains (c := v.Collection(); objs :=
+	// c.Objects; objs2 := objs), so iterate until the sets stop growing.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				rhs := assign.Rhs[i]
+				switch {
+				case !ownedCols[obj] && isViewCollectionCall(pass, rhs):
+					ownedCols[obj] = true
+					changed = true
+				case !ownedCols[obj] && isOwnedColIdent(pass, ownedCols, rhs):
+					ownedCols[obj] = true
+					changed = true
+				case !ownedSlices[obj] && isOwnedObjectsExpr(pass, ownedCols, ownedSlices, rhs):
+					ownedSlices[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportWrite(pass, ownedCols, ownedSlices, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportWrite(pass, ownedCols, ownedSlices, n.X)
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !mutators[sel.Sel.Name] {
+				return true
+			}
+			if !isOwnedCollection(pass, ownedCols, sel.X) {
+				return true
+			}
+			if pass.Suppressed(n.Pos(), "owner") {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s mutates a snapshot-owned collection obtained from a View; snapshots are shared and immutable — clone first (or annotate with //geolint:owner after a real ownership transfer)", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// reportWrite flags lhs when it writes through snapshot-owned state:
+// a field of an owned collection, an element reached through its
+// .Objects, or an element of an owned slice alias.
+func reportWrite(pass *analysis.Pass, ownedCols, ownedSlices map[types.Object]bool, lhs ast.Expr) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			if isOwnedCollection(pass, ownedCols, e.X) {
+				if !pass.Suppressed(lhs.Pos(), "owner") {
+					pass.Reportf(lhs.Pos(), "write to %s of a snapshot-owned collection obtained from a View; snapshots are shared and immutable — clone first (or annotate with //geolint:owner after a real ownership transfer)", e.Sel.Name)
+				}
+				return
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			if isOwnedObjectsExpr(pass, ownedCols, ownedSlices, e.X) {
+				if !pass.Suppressed(lhs.Pos(), "owner") {
+					pass.Reportf(lhs.Pos(), "write through a snapshot-owned object slice obtained from a View; snapshots are shared and immutable — clone first (or annotate with //geolint:owner after a real ownership transfer)")
+				}
+				return
+			}
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// isViewCollectionCall matches `<expr>.Collection()` returning the
+// geodata Collection pointer — the canonical snapshot handout.
+func isViewCollectionCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Collection" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	return ok && isGeodataCollectionPtr(tv.Type)
+}
+
+// isOwnedColIdent reports whether e is an identifier already marked as
+// an owned collection.
+func isOwnedColIdent(pass *analysis.Pass, ownedCols map[types.Object]bool, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return ownedCols[pass.TypesInfo.Uses[id]]
+}
+
+// isOwnedCollection reports whether e evaluates to a snapshot-owned
+// *Collection: a tracked identifier or a direct View.Collection() call.
+func isOwnedCollection(pass *analysis.Pass, ownedCols map[types.Object]bool, e ast.Expr) bool {
+	return isOwnedColIdent(pass, ownedCols, e) || isViewCollectionCall(pass, e)
+}
+
+// isOwnedObjectsExpr reports whether e evaluates to a snapshot-owned
+// object slice: `<owned>.Objects` (possibly resliced) or a tracked
+// slice alias.
+func isOwnedObjectsExpr(pass *analysis.Pass, ownedCols, ownedSlices map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return ownedSlices[pass.TypesInfo.Uses[e]]
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Objects" && isOwnedCollection(pass, ownedCols, e.X)
+	case *ast.SliceExpr:
+		return isOwnedObjectsExpr(pass, ownedCols, ownedSlices, e.X)
+	}
+	return false
+}
+
+// isGeodataCollectionPtr reports whether t is *geodata.Collection (by
+// package-path suffix, to cover the testdata module).
+func isGeodataCollectionPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Collection" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), geodataPathSuffix)
+}

@@ -1,0 +1,12 @@
+package snapfreeze_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/snapfreeze"
+)
+
+func TestSnapFreeze(t *testing.T) {
+	analysistest.Run(t, snapfreeze.Analyzer, "testdata/geosel")
+}

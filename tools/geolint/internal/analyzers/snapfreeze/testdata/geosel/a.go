@@ -1,0 +1,97 @@
+// Package geosel seeds snapshot-mutation violations for the snapfreeze
+// analyzer, alongside compliant read-only and cloning uses.
+package geosel
+
+import (
+	"example.com/geosel/internal/geodata"
+)
+
+// WriteThroughCollection mutates an element through the handed-out
+// collection.
+func WriteThroughCollection(v *geodata.View) {
+	col := v.Collection()
+	col.Objects[0].Weight = 1 // want `write through a snapshot-owned object slice`
+}
+
+// WriteThroughChain mutates without naming an intermediate.
+func WriteThroughChain(v *geodata.View) {
+	v.Collection().Objects[2].Weight = 0.5 // want `write through a snapshot-owned object slice`
+}
+
+// ReplaceObjects swaps the snapshot's backing slice out from under
+// every other reader.
+func ReplaceObjects(v *geodata.View) {
+	col := v.Collection()
+	col.Objects = nil // want `write to Objects of a snapshot-owned collection`
+}
+
+// ReplaceVocab swaps the shared vocabulary.
+func ReplaceVocab(v *geodata.View) {
+	col := v.Collection()
+	col.Vocab = nil // want `write to Vocab of a snapshot-owned collection`
+}
+
+// WriteThroughAlias retains the object slice and mutates it later.
+func WriteThroughAlias(v *geodata.View) {
+	objs := v.Collection().Objects
+	objs[1].Weight = 0 // want `write through a snapshot-owned object slice`
+}
+
+// WriteThroughSecondAlias propagates ownership through a chain of
+// assignments.
+func WriteThroughSecondAlias(v *geodata.View) {
+	col := v.Collection()
+	objs := col.Objects
+	tail := objs[1:]
+	tail[0] = geodata.Object{} // want `write through a snapshot-owned object slice`
+}
+
+// CallAdd grows the shared collection.
+func CallAdd(v *geodata.View) {
+	col := v.Collection()
+	col.Add(9, geodata.Point{}, 0.5, "cafe") // want `Add mutates a snapshot-owned collection`
+}
+
+// CallApplyTFIDF reweights the shared collection.
+func CallApplyTFIDF(v *geodata.View) {
+	v.Collection().ApplyTFIDF() // want `ApplyTFIDF mutates a snapshot-owned collection`
+}
+
+// ReadOnly only reads; silent.
+func ReadOnly(v *geodata.View) float64 {
+	col := v.Collection()
+	sum := 0.0
+	for _, o := range col.Objects {
+		sum += o.Weight
+	}
+	return sum + col.Objects[0].Weight
+}
+
+// AppendAlias appends to an alias; silent — snapshots cap their object
+// slice, so append reallocates instead of racing the writer's tail.
+func AppendAlias(v *geodata.View) []geodata.Object {
+	objs := v.Collection().Objects
+	return append(objs, geodata.Object{ID: 1})
+}
+
+// CloneThenMutate copies before writing; silent.
+func CloneThenMutate(v *geodata.View) []geodata.Object {
+	objs := append([]geodata.Object(nil), v.Collection().Objects...)
+	objs[0].Weight = 1
+	return objs
+}
+
+// OwnCollectionIsFine mutates a collection this function built; silent.
+func OwnCollectionIsFine() *geodata.Collection {
+	col := &geodata.Collection{}
+	col.Add(1, geodata.Point{}, 0.5, "bar")
+	col.Objects[0].Weight = 0.25
+	col.ApplyTFIDF()
+	return col
+}
+
+// AnnotatedTransfer documents a deliberate ownership transfer; silent.
+func AnnotatedTransfer(v *geodata.View) {
+	col := v.Collection()
+	col.ApplyTFIDF() //geolint:owner
+}

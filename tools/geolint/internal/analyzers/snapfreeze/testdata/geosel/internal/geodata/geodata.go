@@ -1,0 +1,41 @@
+// Package geodata mimics the repository's collection package: same
+// import-path suffix, same Collection surface, so the snapfreeze
+// analyzer sees the shapes it targets in production.
+package geodata
+
+// Point is a stand-in location.
+type Point struct{ X, Y float64 }
+
+// Object is one stored object.
+type Object struct {
+	ID     int
+	Loc    Point
+	Weight float64
+}
+
+// Vocabulary is a stand-in term table.
+type Vocabulary struct{}
+
+// Collection is the shared object table a snapshot hands out.
+type Collection struct {
+	Objects []Object
+	Vocab   *Vocabulary
+}
+
+// Add appends an object (a mutator).
+func (c *Collection) Add(id int, loc Point, weight float64, text string) int {
+	c.Objects = append(c.Objects, Object{ID: id, Loc: loc, Weight: weight})
+	return len(c.Objects) - 1
+}
+
+// ApplyTFIDF reweights vectors in place (a mutator).
+func (c *Collection) ApplyTFIDF() {}
+
+// View is the read interface a snapshot exposes.
+type View struct{ col *Collection }
+
+// NewView wraps a collection.
+func NewView(col *Collection) *View { return &View{col: col} }
+
+// Collection hands out the snapshot-owned collection.
+func (v *View) Collection() *Collection { return v.col }

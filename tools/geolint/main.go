@@ -19,6 +19,8 @@
 //	            or thread a context.Context
 //	errlite     silently discarded errors outside tests
 //	nopanic     panic in library packages
+//	snapfreeze  mutation of snapshot-owned collections or slices
+//	            obtained from a geodata.View outside the owning packages
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"geosel/tools/geolint/internal/analyzers/floatorder"
 	"geosel/tools/geolint/internal/analyzers/knobplumb"
 	"geosel/tools/geolint/internal/analyzers/nopanic"
+	"geosel/tools/geolint/internal/analyzers/snapfreeze"
 )
 
 // All is the geolint analyzer suite.
@@ -41,6 +44,7 @@ var All = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	errlite.Analyzer,
 	nopanic.Analyzer,
+	snapfreeze.Analyzer,
 }
 
 func main() {
