@@ -3,7 +3,7 @@
 
 GEOLINT := $(CURDIR)/bin/geolint
 
-.PHONY: all build test check race churn lint fuzz bench clean
+.PHONY: all build test check race churn lint fuzz bench bench-smoke clean
 
 all: build lint test
 
@@ -44,6 +44,14 @@ fuzz:
 
 bench:
 	go test -run=NONE -bench=. -benchmem ./internal/core ./internal/prefetch
+
+# bench-smoke runs the hot-loop matrix in its shrunk CI shape: every
+# cell still runs (and still cross-checks that all cells pick the same
+# selection), just on a smaller instance. The full matrix is
+# `go run ./cmd/benchrunner -suite hotloop` (writes BENCH_hotloop.json).
+bench-smoke:
+	go run ./cmd/benchrunner -suite hotloop -quick -out /tmp/BENCH_hotloop_smoke.json
+	go run ./cmd/benchrunner -suite ingest-churn -quick -out /tmp/BENCH_ingest_smoke.json
 
 clean:
 	rm -rf bin

@@ -1,0 +1,52 @@
+package main
+
+// Shared bench-report plumbing: every BENCH_*.json embeds the machine
+// environment the numbers were produced on — without the physical core
+// count and the effective GOMAXPROCS a "speedup" row is uninterpretable
+// — and goes through one writer so the schema stays uniform.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// benchEnv records the execution environment of a bench run.
+type benchEnv struct {
+	// NumCPU is runtime.NumCPU(): the usable logical CPUs. Speedups
+	// above it are impossible no matter what GOMAXPROCS asks for.
+	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the effective scheduler parallelism at report time
+	// (suites that sweep GOMAXPROCS additionally record the per-cell
+	// value).
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// captureEnv snapshots the current environment.
+func captureEnv() benchEnv {
+	return benchEnv{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}
+
+// writeJSON marshals v with indentation and writes it to path, the one
+// serialization path for every BENCH_*.json.
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	return nil
+}

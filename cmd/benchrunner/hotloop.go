@@ -1,0 +1,225 @@
+package main
+
+// The hotloop suite: the data-oriented rewrite of the greedy steady
+// state measured as a matrix — GOMAXPROCS × {dense, pruned} × {AoS
+// baseline, SoA} — plus AoS-vs-SoA rows for the hybrid text metric,
+// written as BENCH_hotloop.json. Every cell runs the identical
+// workload, and the suite fails unless all cells return the
+// bitwise-identical selection: the performance matrix doubles as the
+// end-to-end proof that layout, stripe count and parallelism never leak
+// into results.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"geosel/internal/core"
+	"geosel/internal/dataset"
+	"geosel/internal/engine"
+	"geosel/internal/sim"
+)
+
+// hotloopCell is one matrix cell of BENCH_hotloop.json.
+type hotloopCell struct {
+	// Metric is "euclid" for the main matrix, "hybrid" for the text-
+	// kernel rows.
+	Metric string `json:"metric"`
+	// GOMAXPROCS is the requested scheduler width of this cell (also
+	// the selector's Parallelism); EffectiveProcs is what the runtime
+	// granted.
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	EffectiveProcs int    `json:"effective_procs"`
+	Layout         string `json:"layout"` // "aos" (DisableSoA) or "soa"
+	Engine         string `json:"engine"` // "dense" (DisablePrune) or "pruned"
+	NsOp           int64  `json:"ns_op"`
+	// SpeedupVsSerial is ns_op of the same metric/layout/engine at
+	// GOMAXPROCS=1 divided by this cell's ns_op.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// SoASpeedup is the AoS ns_op of the same metric/procs/engine cell
+	// divided by this cell's ns_op; zero on AoS cells.
+	SoASpeedup float64 `json:"soa_speedup,omitempty"`
+}
+
+// hotloopReport is the BENCH_hotloop.json schema.
+type hotloopReport struct {
+	Env   benchEnv `json:"env"`
+	N     int      `json:"n"`
+	Cands int      `json:"candidates"`
+	K     int      `json:"k"`
+	Theta float64  `json:"theta"`
+	Reps  int      `json:"reps"`
+	// IdenticalSelection is the cross-cell bitwise equivalence check
+	// over every cell of the same metric; the suite errors when false.
+	IdenticalSelection bool          `json:"identical_selection"`
+	Cells              []hotloopCell `json:"cells"`
+	Note               string        `json:"note"`
+}
+
+// runHotloopSuite measures the selection hot loop across the matrix and
+// writes the report to out.
+func runHotloopSuite(out string, seed int64, quick bool) error {
+	n, k, reps := 40000, 80, 2
+	stride, hybridStride := 10, 40
+	procsAxis := []int{1, 4, 8, 16}
+	if quick {
+		n, k, reps = 8000, 30, 1
+		stride, hybridStride = 10, 20
+		procsAxis = []int{1, 2}
+	}
+	theta := 0.003
+
+	col, err := dataset.Generate(dataset.UKSpec(n, seed))
+	if err != nil {
+		return err
+	}
+	objs := col.Objects
+	cands := make([]int, 0, n/stride)
+	for c := 0; c < n; c += stride {
+		cands = append(cands, c)
+	}
+	hybridCands := make([]int, 0, n/hybridStride)
+	for c := 0; c < n; c += hybridStride {
+		hybridCands = append(hybridCands, c)
+	}
+
+	euclid := sim.EuclideanProximity{MaxDist: 0.04}
+	hybrid, err := sim.NewHybrid(0.5, math.Sqrt2)
+	if err != nil {
+		return err
+	}
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	run := func(m sim.Metric, cs []int, procs int, disableSoA, disablePrune bool) (*core.Result, int64, error) {
+		runtime.GOMAXPROCS(procs)
+		best := int64(math.MaxInt64)
+		var res *core.Result
+		for rep := 0; rep < reps; rep++ {
+			s := &core.Selector{
+				Config: engine.Config{
+					K: k, Theta: theta, Metric: m, Parallelism: procs,
+					DisableSoA: disableSoA, DisablePrune: disablePrune,
+				},
+				Objects: objs, Candidates: cs,
+			}
+			start := time.Now()
+			r, err := s.Run(context.Background())
+			if err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(start).Nanoseconds(); d < best {
+				best = d
+			}
+			res = r
+		}
+		return res, best, nil
+	}
+
+	report := hotloopReport{
+		Env: captureEnv(), N: n, Cands: len(cands), K: k, Theta: theta, Reps: reps,
+		IdenticalSelection: true,
+		Note: fmt.Sprintf("clustered UK-like dataset, seed %d, best of %d; euclid matrix uses a stride-%d candidate set, "+
+			"hybrid rows stride-%d at GOMAXPROCS=1; aos = DisableSoA (per-pair kernel closures), soa = flat-column engine; "+
+			"speedup_vs_serial is bounded by env.num_cpu regardless of gomaxprocs", seed, reps, stride, hybridStride),
+	}
+
+	layouts := []struct {
+		name       string
+		disableSoA bool
+	}{{"aos", true}, {"soa", false}}
+	engines := []struct {
+		name         string
+		disablePrune bool
+	}{{"dense", true}, {"pruned", false}}
+
+	// serialNs[layout/engine] anchors speedup_vs_serial; aosNs[key of
+	// procs/engine] anchors soa_speedup.
+	serialNs := map[string]int64{}
+	aosNs := map[string]int64{}
+	var ref *core.Result
+
+	check := func(name string, res *core.Result) error {
+		if ref == nil {
+			ref = res
+			return nil
+		}
+		if !sameSelection(ref, res) {
+			report.IdenticalSelection = false
+			return fmt.Errorf("hotloop: cell %s diverged from the reference selection", name)
+		}
+		return nil
+	}
+
+	for _, procs := range procsAxis {
+		for _, eng := range engines {
+			for _, lay := range layouts {
+				res, ns, err := run(euclid, cands, procs, lay.disableSoA, eng.disablePrune)
+				if err != nil {
+					return err
+				}
+				name := fmt.Sprintf("euclid/p%d/%s/%s", procs, lay.name, eng.name)
+				if err := check(name, res); err != nil {
+					return err
+				}
+				cell := hotloopCell{
+					Metric: "euclid", GOMAXPROCS: procs, EffectiveProcs: runtime.GOMAXPROCS(0),
+					Layout: lay.name, Engine: eng.name, NsOp: ns,
+				}
+				serialKey := lay.name + "/" + eng.name
+				if procs == 1 {
+					serialNs[serialKey] = ns
+				}
+				if s, ok := serialNs[serialKey]; ok {
+					cell.SpeedupVsSerial = float64(s) / float64(ns)
+				}
+				aosKey := fmt.Sprintf("p%d/%s", procs, eng.name)
+				if lay.name == "aos" {
+					aosNs[aosKey] = ns
+				} else if a, ok := aosNs[aosKey]; ok {
+					cell.SoASpeedup = float64(a) / float64(ns)
+				}
+				report.Cells = append(report.Cells, cell)
+				fmt.Fprintf(os.Stderr, "[%s: %v]\n", name, time.Duration(ns).Round(time.Millisecond))
+			}
+		}
+	}
+
+	// Hybrid rows: the packed-CSR cosine kernel is the SoA piece with
+	// the most to gain, measured at GOMAXPROCS=1 so the ratio isolates
+	// layout, not scheduling. The hybrid selection has its own
+	// reference (different metric ⇒ different picks).
+	refEuclid := ref
+	ref = nil
+	var hybridAos int64
+	for _, lay := range layouts {
+		// Hybrid-with-cosine has no bounded support radius, so these
+		// rows are dense by construction.
+		res, ns, err := run(hybrid, hybridCands, 1, lay.disableSoA, true)
+		if err != nil {
+			return err
+		}
+		name := "hybrid/p1/" + lay.name + "/dense"
+		if err := check(name, res); err != nil {
+			return err
+		}
+		cell := hotloopCell{
+			Metric: "hybrid", GOMAXPROCS: 1, EffectiveProcs: runtime.GOMAXPROCS(0),
+			Layout: lay.name, Engine: "dense", NsOp: ns, SpeedupVsSerial: 1,
+		}
+		if lay.name == "aos" {
+			hybridAos = ns
+		} else {
+			cell.SoASpeedup = float64(hybridAos) / float64(ns)
+		}
+		report.Cells = append(report.Cells, cell)
+		fmt.Fprintf(os.Stderr, "[%s: %v]\n", name, time.Duration(ns).Round(time.Millisecond))
+	}
+	ref = refEuclid
+
+	return writeJSON(out, report)
+}

@@ -16,10 +16,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"time"
 
@@ -61,7 +59,7 @@ type navLatencyRow struct {
 
 // ingestReport is the BENCH_ingest.json schema.
 type ingestReport struct {
-	Cores     int    `json:"cores"`
+	Env       benchEnv `json:"env"`
 	N         int    `json:"n"`
 	TraceLen  int    `json:"trace_len"`
 	ChurnFrac string `json:"churn_mix"`
@@ -130,7 +128,7 @@ func runIngestSuite(out string, seed int64, quick bool) error {
 	}
 
 	report := ingestReport{
-		Cores: runtime.NumCPU(), N: n, TraceLen: traceLen, ChurnFrac: "3:4:3 insert:update:delete",
+		Env: captureEnv(), N: n, TraceLen: traceLen, ChurnFrac: "3:4:3 insert:update:delete",
 		Note: "livestore ingest throughput by batch size; incremental COW grid commit vs full rebuild at 1% churn " +
 			"(acceptance: speedup >= 5); p50/p99 scripted-navigation latency static vs under continuous ingestion",
 	}
@@ -314,13 +312,5 @@ func runIngestSuite(out string, seed int64, quick bool) error {
 			time.Duration(r.P99Ns).Round(time.Microsecond), r.Steps, r.EpochsDuringTrace)
 	}
 
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
-	return nil
+	return writeJSON(out, report)
 }

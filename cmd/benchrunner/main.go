@@ -10,12 +10,15 @@
 //	benchrunner -suite pruned-vs-dense
 //	benchrunner -suite prefetch-overlap
 //	benchrunner -suite ingest-churn [-quick]
+//	benchrunner -suite hotloop [-quick] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"geosel/internal/experiments"
@@ -25,17 +28,53 @@ func main() {
 	var (
 		exp     = flag.String("exp", "", "exhibit id (table3, table4, fig7..fig14, fig18..fig23) or 'all'")
 		list    = flag.Bool("list", false, "list exhibit ids and exit")
-		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense, prefetch-overlap or ingest-churn (writes BENCH_*.json)")
+		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense, prefetch-overlap, ingest-churn or hotloop (writes BENCH_*.json)")
 		out     = flag.String("out", "", "output path for -suite (default BENCH_<suite>.json)")
-		quick   = flag.Bool("quick", false, "shrink -suite workloads for CI smoke runs (ingest-churn only)")
+		quick   = flag.Bool("quick", false, "shrink -suite workloads for CI smoke runs (ingest-churn and hotloop)")
 		ukSize  = flag.Int("uk", 0, "UK-like dataset size (0 = default)")
 		usSize  = flag.Int("us", 0, "US-like dataset size (0 = default)")
 		poiSize = flag.Int("poi", 0, "POI-like dataset size (0 = default)")
 		queries = flag.Int("queries", 0, "repetitions per measurement (0 = default)")
 		seed    = flag.Int64("seed", 1, "environment seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *suite != "" {
 		var runner func(string, int64) error
@@ -49,6 +88,10 @@ func main() {
 			q := *quick
 			runner = func(path string, seed int64) error { return runIngestSuite(path, seed, q) }
 			dflt = "BENCH_ingest.json"
+		case "hotloop":
+			q := *quick
+			runner = func(path string, seed int64) error { return runHotloopSuite(path, seed, q) }
+			dflt = "BENCH_hotloop.json"
 		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown suite %q\n", *suite)
 			os.Exit(2)

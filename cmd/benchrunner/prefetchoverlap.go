@@ -11,10 +11,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"time"
 
@@ -50,7 +48,7 @@ type overlapMode struct {
 
 // overlapReport is the BENCH_prefetch_overlap.json schema.
 type overlapReport struct {
-	Cores        int           `json:"cores"`
+	Env          benchEnv      `json:"env"`
 	N            int           `json:"n"`
 	K            int           `json:"k"`
 	ThetaFrac    float64       `json:"theta_frac"`
@@ -178,7 +176,7 @@ func runOverlapSuite(out string, seed int64) error {
 	}
 
 	report := overlapReport{
-		Cores: runtime.NumCPU(), N: n, K: k, ThetaFrac: thetaFrac,
+		Env: captureEnv(), N: n, K: k, ThetaFrac: thetaFrac,
 		TilesPerSide: tiles, ThinkMs: thinkMs,
 		Note: "scripted zoom/pan trace on a clustered UK-like dataset; latency is the user-visible wait per step " +
 			"(sync pays the bound computation on the session thread, async overlaps it with think time)",
@@ -205,15 +203,7 @@ func runOverlapSuite(out string, seed int64) error {
 			res.mode.PrefetchHits, res.mode.Steps, res.mode.Evals)
 	}
 
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
-	return nil
+	return writeJSON(out, report)
 }
 
 // samePositions checks the cross-mode determinism contract step by

@@ -8,11 +8,9 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
-	"runtime"
 	"time"
 
 	"geosel/internal/core"
@@ -47,7 +45,7 @@ type prunedWorkload struct {
 
 // prunedReport is the BENCH_pruned.json schema.
 type prunedReport struct {
-	Cores     int              `json:"cores"`
+	Env       benchEnv         `json:"env"`
 	Reps      int              `json:"reps"`
 	Workloads []prunedWorkload `json:"workloads"`
 	Note      string           `json:"note"`
@@ -99,8 +97,8 @@ func runPrunedSuite(out string, seed int64) error {
 	}
 
 	report := prunedReport{
-		Cores: runtime.NumCPU(),
-		Reps:  reps,
+		Env:  captureEnv(),
+		Reps: reps,
 		Note: fmt.Sprintf("clustered UK-like dataset, n=%d, strided candidate set of %d, best of %d; "+
 			"dense = DisablePrune, pruned = support-radius neighbor lists", n, len(cands), reps),
 	}
@@ -147,15 +145,7 @@ func runPrunedSuite(out string, seed int64) error {
 			float64(denseNs)/float64(prunedNs))
 	}
 
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "[wrote %s]\n", out)
-	return nil
+	return writeJSON(out, report)
 }
 
 // sameSelection reports whether two runs selected the same objects in

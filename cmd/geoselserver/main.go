@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,8 +66,28 @@ func main() {
 		asyncPre    = flag.Bool("async-prefetch", true, "compute next-operation bounds on a background goroutine after each navigation")
 		live        = flag.Bool("live", false, "serve a mutable live store: enables POST /ingest, DELETE /objects/{id} and GET /store/stats")
 		ingestBatch = flag.Int("ingest-batch", engine.DefaultIngestBatch, "live-store ingest queue auto-flush threshold")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling
+		// endpoints never share a port with the public API, so exposing
+		// the service does not expose the profiler.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			dbg := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Print("geoselserver: pprof: ", err)
+			}
+		}()
+	}
 
 	col, err := load(*data, *preset, *n, *seed)
 	if err != nil {

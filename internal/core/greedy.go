@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"geosel/internal/engine"
-	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/grid"
 	"geosel/internal/invariant"
@@ -56,6 +55,12 @@ type Selector struct {
 	// ran flips on the first successful entry into Run, enforcing the
 	// single-use contract.
 	ran bool
+
+	// forceStripes overrides the lazy heap's stripe count (normally
+	// derived from the worker count). Test-only: the pop order is
+	// stripe-count-invariant, and the equivalence suite proves it by
+	// forcing mismatched counts.
+	forceStripes int
 }
 
 // Result is the outcome of a selection run.
@@ -116,7 +121,7 @@ func (s *Selector) Run(ctx context.Context) (*Result, error) {
 		pool = parallel.New(s.Parallelism)
 		defer pool.Close()
 	}
-	e := newEvaluator(ctx, s.Objects, s.Metric, s.Agg, pool)
+	e := newEvaluator(ctx, s.Objects, s.Metric, s.Agg, pool, s.DisableSoA)
 
 	// best[i] = current Sim(o_i, S): the aggregation state per object.
 	// For AggSum/AggAvg it accumulates the sum of similarities.
@@ -258,6 +263,86 @@ func (s *Selector) finish(e *evaluator, res *Result, best []float64, selected []
 	return nil
 }
 
+// maxStripes bounds the lazy heap's stripe count: every Pop scans one
+// top per stripe, so stripes beyond the worker count only add scan cost.
+const maxStripes = 64
+
+// runState is the arena of one lazy greedy run: the striped heap, the
+// conflict grid, and every scratch buffer the steady-state iteration
+// touches. All buffers are sized once; after the first few iterations a
+// lazyStep performs zero heap allocations (guarded by
+// TestGreedySteadyStateAllocs).
+type runState struct {
+	h        *lazyheap.Striped
+	cg       *grid.Grid
+	active   []int
+	selected []int
+	best     []float64
+	iter     int
+	maxBatch int
+	// batch/ids/gains are the lazy re-evaluation scratch; doomed is the
+	// conflict-removal scratch.
+	batch  []lazyheap.Tuple
+	ids    []int
+	gains  []float64
+	doomed []int
+	// runFn adapts the evaluator's pool to the heap's Runner for
+	// sharded pushes, bound once per run.
+	runFn lazyheap.Runner
+}
+
+// newRunState builds the arena: the spatially-striped heap (one stripe
+// per worker, stripes = horizontal bands over the candidates' Y extent,
+// matching the grid partitioning a distributed frontier would use), the
+// conflict grid, and the reusable scratch buffers.
+func (s *Selector) newRunState(e *evaluator, best []float64, selected, active []int) (*runState, error) {
+	cg, err := s.conflictGrid(active)
+	if err != nil {
+		return nil, err
+	}
+	nStripes := 1
+	if w := e.pool.Workers(); w > 1 {
+		nStripes = w
+		if nStripes > maxStripes {
+			nStripes = maxStripes
+		}
+	}
+	if s.forceStripes > 0 {
+		nStripes = s.forceStripes
+	}
+	stripeOf := func(int) int { return 0 }
+	if nStripes > 1 && len(active) > 0 {
+		b := geoBounds(s.Objects, active)
+		if h := b.Height(); h > 0 {
+			objs, minY, scale, n := s.Objects, b.Min.Y, float64(nStripes)/b.Height(), nStripes
+			stripeOf = func(id int) int {
+				k := int((objs[id].Loc.Y - minY) * scale)
+				if k < 0 {
+					return 0
+				}
+				if k >= n {
+					return n - 1
+				}
+				return k
+			}
+		}
+	}
+	maxBatch := e.pool.Workers()
+	st := &runState{
+		h:        lazyheap.NewStriped(len(s.Objects), nStripes, stripeOf),
+		cg:       cg,
+		active:   active,
+		selected: selected,
+		best:     best,
+		maxBatch: maxBatch,
+		batch:    make([]lazyheap.Tuple, 0, maxBatch),
+		ids:      make([]int, 0, maxBatch),
+		gains:    make([]float64, 0, maxBatch),
+		runFn:    func(n int, fn func(int)) { e.run(n, fn) },
+	}
+	return st, nil
+}
+
 // runLazy is Algorithm 1: heap of ⟨o, Δ(o), Iter⟩ tuples, re-evaluating
 // only stale tops, with grid-accelerated conflict removal. Stale tops
 // are refreshed in batches of up to one per pool worker, which
@@ -265,92 +350,117 @@ func (s *Selector) finish(e *evaluator, res *Result, best []float64, selected []
 // pick order: refreshed gains are exact, stale gains are upper bounds
 // (submodularity), so the first fresh tuple to surface is the true
 // argmax under the heap's deterministic (gain, id) ordering no matter
-// how many extra tuples were refreshed along the way.
+// how many extra tuples were refreshed along the way. The heap itself
+// is striped (one spatial stripe per worker) with heap construction and
+// batched re-insertion sharded stripe-by-stripe across the pool; the
+// pop order — and therefore the selection — is bitwise-identical for
+// every stripe count.
 func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, active []int, bounds []float64) error {
-	h := lazyheap.New(len(active))
+	st, err := s.newRunState(e, best, selected, active)
+	if err != nil {
+		return err
+	}
 	if bounds != nil {
+		init := make([]lazyheap.Tuple, len(active))
 		for i, c := range active {
 			// Pre-fetched upper bound: mark stale (Iter -1) so it is
 			// re-evaluated before being trusted.
-			h.Push(lazyheap.Tuple{ID: c, Gain: bounds[i], Iter: -1})
+			init[i] = lazyheap.Tuple{ID: c, Gain: bounds[i], Iter: -1}
 		}
+		st.h.Heapify(init, st.runFn)
 	} else if len(active) > 0 {
 		// Exact O(|O|·|G|) heap initialization — the paper's main
-		// bottleneck — evaluated with one candidate per worker task.
-		gains := e.marginalBatch(best, active)
+		// bottleneck — evaluated with one candidate per worker task,
+		// then bulk-loaded stripe-by-stripe in O(n).
+		gains := e.marginalBatch(nil, best, active)
 		if err := e.fail(); err != nil {
 			return err
 		}
 		res.Evals += len(active)
+		init := make([]lazyheap.Tuple, len(active))
 		for i, c := range active {
-			h.Push(lazyheap.Tuple{ID: c, Gain: gains[i], Iter: 0})
+			init[i] = lazyheap.Tuple{ID: c, Gain: gains[i], Iter: 0}
 		}
+		st.h.Heapify(init, st.runFn)
 	}
-
-	cg, err := s.conflictGrid(active)
-	if err != nil {
+	if err := e.fail(); err != nil {
 		return err
 	}
+	res.Gains = make([]float64, 0, s.K)
 
-	maxBatch := e.pool.Workers()
-	batch := make([]lazyheap.Tuple, 0, maxBatch)
-	ids := make([]int, 0, maxBatch)
-
-	iter := 0
-	for len(selected) < s.K && h.Len() > 0 {
-		t, _ := h.Pop()
-		if t.Iter != iter {
-			// Batched lazy re-evaluation: refresh up to maxBatch stale
-			// tuples from the top of the heap concurrently. Collection
-			// stops at the first fresh tuple — everything below it is
-			// bounded above by its gain and cannot win this round.
-			batch = append(batch[:0], t)
-			for len(batch) < maxBatch {
-				u, ok := h.Peek()
-				if !ok || u.Iter == iter {
-					break
-				}
-				h.Pop()
-				batch = append(batch, u)
-			}
-			ids = ids[:0]
-			for _, u := range batch {
-				ids = append(ids, u.ID)
-			}
-			gains := e.marginalBatch(best, ids)
-			if err := e.fail(); err != nil {
-				return err
-			}
-			res.Evals += len(batch)
-			if invariant.Enabled {
-				// Lemma 4.1 (submodularity) for stale heap entries, and
-				// Lemmas 5.1–5.3 for prefetched bounds (Iter -1): the
-				// recorded gain must upper-bound the fresh exact gain.
-				for k := range batch {
-					invariant.UpperBound(gains[k], batch[k].Gain,
-						"core: lazy re-evaluation of candidate gain")
-				}
-			}
-			for k := range batch {
-				h.Push(lazyheap.Tuple{ID: batch[k].ID, Gain: gains[k], Iter: iter})
-			}
-			continue
-		}
-		if s.MinGain > 0 && t.Gain < s.MinGain {
-			break // submodularity: no remaining candidate can reach MinGain
-		}
-		// t is up to date and maximal: select it.
-		selected = append(selected, t.ID)
-		res.Gains = append(res.Gains, t.Gain)
-		e.absorb(best, t.ID)
-		if err := e.fail(); err != nil {
+	for len(st.selected) < s.K && st.h.Len() > 0 {
+		done, err := s.lazyStep(e, res, st)
+		if err != nil {
 			return err
 		}
-		s.removeConflicts(h, cg, active, t.ID)
-		iter++
-		res.Rounds++
+		if done {
+			break
+		}
 	}
-	return s.finish(e, res, best, selected)
+	return s.finish(e, res, best, st.selected)
+}
+
+// lazyStep performs one round of the lazy greedy loop: pop the top,
+// either refresh a batch of stale tuples or select the fresh winner.
+// It reports done = true when the MinGain cutoff fires. The steady
+// state allocates nothing — every buffer it touches lives in st.
+func (s *Selector) lazyStep(e *evaluator, res *Result, st *runState) (bool, error) {
+	t, _ := st.h.Pop()
+	if t.Iter != st.iter {
+		// Batched lazy re-evaluation: refresh up to maxBatch stale
+		// tuples from the top of the heap concurrently. Collection
+		// stops at the first fresh tuple — everything below it is
+		// bounded above by its gain and cannot win this round.
+		st.batch = append(st.batch[:0], t)
+		for len(st.batch) < st.maxBatch {
+			u, ok := st.h.Peek()
+			if !ok || u.Iter == st.iter {
+				break
+			}
+			st.h.Pop()
+			st.batch = append(st.batch, u)
+		}
+		st.ids = st.ids[:0]
+		for _, u := range st.batch {
+			st.ids = append(st.ids, u.ID)
+		}
+		st.gains = e.marginalBatch(st.gains, st.best, st.ids)
+		if err := e.fail(); err != nil {
+			return false, err
+		}
+		res.Evals += len(st.batch)
+		if invariant.Enabled {
+			// Lemma 4.1 (submodularity) for stale heap entries, and
+			// Lemmas 5.1–5.3 for prefetched bounds (Iter -1): the
+			// recorded gain must upper-bound the fresh exact gain.
+			for k := range st.batch {
+				invariant.UpperBound(st.gains[k], st.batch[k].Gain,
+					"core: lazy re-evaluation of candidate gain")
+			}
+		}
+		for k := range st.batch {
+			st.batch[k] = lazyheap.Tuple{ID: st.batch[k].ID, Gain: st.gains[k], Iter: st.iter}
+		}
+		st.h.PushBatch(st.batch, st.runFn)
+		if err := e.fail(); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if s.MinGain > 0 && t.Gain < s.MinGain {
+		return true, nil // submodularity: no remaining candidate can reach MinGain
+	}
+	// t is up to date and maximal: select it.
+	st.selected = append(st.selected, t.ID)
+	res.Gains = append(res.Gains, t.Gain)
+	e.absorb(st.best, t.ID)
+	if err := e.fail(); err != nil {
+		return false, err
+	}
+	s.removeConflicts(st, t.ID)
+	st.iter++
+	res.Rounds++
+	return false, nil
 }
 
 // runNaive recomputes every remaining candidate's marginal gain each
@@ -360,8 +470,9 @@ func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, 
 // path's tie-breaking.
 func (s *Selector) runNaive(e *evaluator, res *Result, best []float64, selected, active []int) error {
 	alive := append([]int(nil), active...)
+	var gains []float64
 	for len(selected) < s.K && len(alive) > 0 {
-		gains := e.marginalBatch(best, alive)
+		gains = e.marginalBatch(gains, best, alive)
 		if err := e.fail(); err != nil {
 			return err
 		}
@@ -415,41 +526,46 @@ func (s *Selector) conflictGrid(active []int) (*grid.Grid, error) {
 // the just-selected object (Algorithm 1 lines 11–12), including the
 // object itself. Each id is removed from the heap and the grid exactly
 // once: on the grid path the picked object sits at distance 0 < Theta
-// and is collected with its conflicts, so no separate removal runs.
-func (s *Selector) removeConflicts(h *lazyheap.Heap, cg *grid.Grid, active []int, picked int) {
+// and is collected with its conflicts, so no separate removal runs. The
+// grid query fills st.doomed (reused across iterations) via the
+// closure-free AppendWithin, keeping the steady state allocation-free.
+func (s *Selector) removeConflicts(st *runState, picked int) {
 	loc := s.Objects[picked].Loc
-	if cg == nil {
+	if st.cg == nil {
 		// Gridless: with Theta <= 0 the visibility constraint is
 		// vacuous and only the pick itself leaves the pool; otherwise
 		// (grids disabled) scan the candidates linearly.
 		if s.Theta > 0 {
-			for _, c := range active {
-				if c != picked && h.Contains(c) && s.Objects[c].Loc.Dist(loc) < s.Theta {
-					h.Remove(c)
+			for _, c := range st.active {
+				if c != picked && st.h.Contains(c) && s.Objects[c].Loc.Dist(loc) < s.Theta {
+					st.h.Remove(c)
 				}
 			}
 		}
-		h.Remove(picked)
+		st.h.Remove(picked)
 		return
 	}
-	var doomed []int
+	// AppendWithin is inclusive (dist <= Theta); the visibility
+	// constraint is strict, so re-filter in place.
+	st.doomed = st.cg.AppendWithin(st.doomed[:0], loc, s.Theta)
+	doomed := st.doomed[:0]
 	sawPicked := false
-	cg.Within(loc, s.Theta, func(id int, p geo.Point) bool {
-		if p.Dist(loc) < s.Theta {
+	for _, id := range st.doomed {
+		if s.Objects[id].Loc.Dist(loc) < s.Theta {
 			doomed = append(doomed, id)
 			if id == picked {
 				sawPicked = true
 			}
 		}
-		return true
-	})
+	}
 	if !sawPicked {
 		// Defensive: the pick must leave the pool even if a Theta edge
 		// case excluded it from its own conflict neighborhood.
 		doomed = append(doomed, picked)
 	}
 	for _, id := range doomed {
-		cg.Remove(id, s.Objects[id].Loc)
-		h.Remove(id)
+		st.cg.Remove(id, s.Objects[id].Loc)
+		st.h.Remove(id)
 	}
+	st.doomed = doomed
 }

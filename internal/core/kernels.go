@@ -27,15 +27,26 @@ const serialCutoff = 2 * evalChunk
 
 // evaluator is the parallel marginal-gain engine behind Selector.Run,
 // Score and Representatives: a similarity kernel compiled once per run
-// (sim.CompileKernel), the weight column extracted once, and a worker
-// pool that shards every loop over the objects into fixed chunks.
+// (sim.CompileKernel), flat SoA columns for the built-in metrics
+// (soa.go), the weight column extracted once, and a worker pool that
+// shards every loop over the objects into fixed chunks.
+//
+// The steady-state greedy iteration runs allocation-free: all per-pass
+// parameters travel through the op scratch struct, and the loop bodies
+// handed to the pool are method values bound once at construction —
+// never per-pass closures.
 type evaluator struct {
 	objs []geodata.Object
-	// w is the extracted weight column ω, indexed like objs.
+	// w is the extracted weight column ω (the paper's mass), indexed
+	// like objs.
 	w    []float64
 	kern sim.Kernel
 	agg  Agg
 	pool *parallel.Pool
+	// soa holds the fused structure-of-arrays reductions for built-in
+	// metrics; nil falls back to the per-pair kernel closure (custom
+	// metrics, or the DisableSoA ablation).
+	soa *soaOps
 	// ctx cancels the run; done caches ctx.Done() so the per-chunk
 	// cancellation probe in worker loops is one channel poll.
 	ctx  context.Context
@@ -52,12 +63,37 @@ type evaluator struct {
 	// nbr is the support-radius neighbor index (pruned.go); nil keeps
 	// every pass dense.
 	nbr *neighborIndex
+
+	// op carries the parameters of the pass currently running on the
+	// pool. Fields are written by the orchestrator before e.run and are
+	// read-only to workers for the duration of the pass.
+	op opState
+	// Pre-bound loop bodies, created once so the steady state never
+	// allocates a closure per pass.
+	absorbChunkFn   func(int)
+	absorbRowFn     func(int)
+	marginalChunkFn func(int)
+	batchFn         func(int)
+	batchPrunedFn   func(int)
+	scoreChunkFn    func(int)
 }
 
-// newEvaluator compiles the metric into a kernel and binds the pool.
-// A nil pool is valid and runs everything serially; a nil ctx never
-// cancels.
-func newEvaluator(ctx context.Context, objs []geodata.Object, m sim.Metric, agg Agg, pool *parallel.Pool) *evaluator {
+// opState is the per-pass parameter block of the evaluator: one
+// mutable scratch area instead of per-pass closure captures.
+type opState struct {
+	best []float64
+	sel  int
+	c    int
+	cs   []int
+	out  []float64
+	row  []int32
+	div  float64
+}
+
+// newEvaluator compiles the metric into a kernel (and, unless disabled,
+// its SoA columns) and binds the pool. A nil pool is valid and runs
+// everything serially; a nil ctx never cancels.
+func newEvaluator(ctx context.Context, objs []geodata.Object, m sim.Metric, agg Agg, pool *parallel.Pool, disableSoA bool) *evaluator {
 	kern, _ := sim.CompileKernel(m, objs)
 	w := make([]float64, len(objs))
 	for i := range objs {
@@ -68,7 +104,7 @@ func newEvaluator(ctx context.Context, objs []geodata.Object, m sim.Metric, agg 
 		done = ctx.Done()
 	}
 	nChunks := (len(objs) + evalChunk - 1) / evalChunk
-	return &evaluator{
+	e := &evaluator{
 		objs:     objs,
 		w:        w,
 		kern:     kern,
@@ -79,6 +115,16 @@ func newEvaluator(ctx context.Context, objs []geodata.Object, m sim.Metric, agg 
 		nChunks:  nChunks,
 		partials: make([]float64, nChunks),
 	}
+	if !disableSoA {
+		e.soa = compileSoA(m, objs)
+	}
+	e.absorbChunkFn = e.absorbChunkTask
+	e.absorbRowFn = e.absorbRowTask
+	e.marginalChunkFn = e.marginalChunkTask
+	e.batchFn = e.batchTask
+	e.batchPrunedFn = e.batchPrunedTask
+	e.scoreChunkFn = e.scoreChunkTask
+	return e
 }
 
 // run executes fn over [0, n) on the pool, latching the first context
@@ -111,6 +157,12 @@ func (e *evaluator) cancelled() bool {
 	default:
 		return false
 	}
+}
+
+// sumAgg reports whether the aggregation accumulates sums (AggSum and
+// AggAvg) rather than maxima.
+func (e *evaluator) sumAgg() bool {
+	return e.agg == AggSum || e.agg == AggAvg
 }
 
 // chunkBounds returns the half-open object range of a chunk.

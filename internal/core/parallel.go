@@ -8,6 +8,11 @@
 // re-evaluation). Both produce bitwise-identical results for every pool
 // size because all floating-point reductions accumulate per-chunk
 // partials and combine them in chunk order.
+//
+// Pass parameters travel through e.op and the loop bodies are method
+// values bound once per evaluator, so the steady state allocates
+// nothing per pass; the chunk bodies dispatch to the fused SoA
+// reductions (soa.go) when the metric has a flat-column form.
 package core
 
 import "geosel/internal/invariant"
@@ -24,25 +29,34 @@ func (e *evaluator) absorb(best []float64, sel int) {
 			return
 		}
 	}
-	kern := e.kern
-	n := len(e.objs)
-	if e.agg == AggSum || e.agg == AggAvg {
-		e.run(e.nChunks, func(chunk int) {
-			lo, hi := chunkBounds(chunk, n)
-			for i := lo; i < hi; i++ {
-				best[i] += kern(i, sel)
-			}
-		})
+	e.op.best, e.op.sel = best, sel
+	e.run(e.nChunks, e.absorbChunkFn)
+}
+
+// absorbChunkTask is the dense absorb loop body for one chunk.
+func (e *evaluator) absorbChunkTask(chunk int) {
+	lo, hi := chunkBounds(chunk, len(e.objs))
+	best, sel := e.op.best, e.op.sel
+	if e.soa != nil {
+		if e.sumAgg() {
+			e.soa.absorbSum(best, lo, hi, sel)
+		} else {
+			e.soa.absorbMax(best, lo, hi, sel)
+		}
 		return
 	}
-	e.run(e.nChunks, func(chunk int) {
-		lo, hi := chunkBounds(chunk, n)
+	kern := e.kern
+	if e.sumAgg() {
 		for i := lo; i < hi; i++ {
-			if v := kern(i, sel); v > best[i] {
-				best[i] = v
-			}
+			best[i] += kern(i, sel)
 		}
-	})
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if v := kern(i, sel); v > best[i] {
+			best[i] = v
+		}
+	}
 }
 
 // marginalChunk accumulates one chunk's contribution to the
@@ -51,9 +65,15 @@ func (e *evaluator) absorb(best []float64, sel int) {
 // Σ ω·max(0, Sim(o_i, o_c) − best[i]).
 func (e *evaluator) marginalChunk(best []float64, c, chunk int) float64 {
 	lo, hi := chunkBounds(chunk, len(e.objs))
+	if e.soa != nil {
+		if e.sumAgg() {
+			return e.soa.marginalSum(e.w, lo, hi, c)
+		}
+		return e.soa.marginalMax(e.w, best, lo, hi, c)
+	}
 	kern, w := e.kern, e.w
 	var part float64
-	if e.agg == AggSum || e.agg == AggAvg {
+	if e.sumAgg() {
 		for i := lo; i < hi; i++ {
 			part += w[i] * kern(i, c)
 		}
@@ -67,6 +87,11 @@ func (e *evaluator) marginalChunk(best []float64, c, chunk int) float64 {
 	return part
 }
 
+// marginalChunkTask shards one candidate's gain across the pool.
+func (e *evaluator) marginalChunkTask(chunk int) {
+	e.partials[chunk] = e.marginalChunk(e.op.best, e.op.c, chunk)
+}
+
 // marginal returns the unnormalized marginal gain of candidate c,
 // sharding the objects across the pool. Only the orchestrating
 // goroutine may call it (it reuses e.partials).
@@ -74,12 +99,10 @@ func (e *evaluator) marginal(best []float64, c int) float64 {
 	if e.nChunks == 0 {
 		return 0
 	}
-	partials := e.partials
-	e.run(e.nChunks, func(chunk int) {
-		partials[chunk] = e.marginalChunk(best, c, chunk)
-	})
+	e.op.best, e.op.c = best, c
+	e.run(e.nChunks, e.marginalChunkFn)
 	var gain float64
-	for _, p := range partials {
+	for _, p := range e.partials {
 		gain += p
 	}
 	return gain
@@ -103,12 +126,29 @@ func (e *evaluator) marginalLocal(best []float64, c int) float64 {
 	return gain
 }
 
+// batchTask evaluates one candidate of the current batch densely.
+func (e *evaluator) batchTask(k int) {
+	e.op.out[k] = e.marginalLocal(e.op.best, e.op.cs[k])
+}
+
+// batchPrunedTask evaluates one candidate of the current batch over its
+// neighbor row.
+func (e *evaluator) batchPrunedTask(k int) {
+	e.op.out[k] = e.marginalPruned(e.op.best, e.op.cs[k])
+}
+
 // marginalBatch evaluates many candidates concurrently, one candidate
-// per worker task; out[k] is the gain of cs[k]. It powers the exact
-// heap initialization (the paper's O(|O|·|G|) bottleneck) and the
-// batched lazy re-evaluation of stale heap tops.
-func (e *evaluator) marginalBatch(best []float64, cs []int) []float64 {
-	out := make([]float64, len(cs))
+// per worker task; the result's k-th entry is the gain of cs[k]. It
+// powers the exact heap initialization (the paper's O(|O|·|G|)
+// bottleneck) and the batched lazy re-evaluation of stale heap tops.
+// dst is an optional scratch buffer reused across iterations (arena
+// discipline: the steady state passes the same buffer every time and
+// never allocates); the filled slice is returned.
+func (e *evaluator) marginalBatch(dst, best []float64, cs []int) []float64 {
+	if cap(dst) < len(cs) {
+		dst = make([]float64, len(cs))
+	}
+	out := dst[:len(cs)]
 	if e.nbr != nil {
 		// Pruned rows are short, so even a lone candidate runs its row
 		// locally instead of sharding the dense chunks — the emulated
@@ -116,9 +156,8 @@ func (e *evaluator) marginalBatch(best []float64, cs []int) []float64 {
 		if len(cs) == 1 {
 			out[0] = e.marginalPruned(best, cs[0])
 		} else {
-			e.run(len(cs), func(k int) {
-				out[k] = e.marginalPruned(best, cs[k])
-			})
+			e.op.best, e.op.cs, e.op.out = best, cs, out
+			e.run(len(cs), e.batchPrunedFn)
 		}
 		if invariant.Enabled {
 			// The pruning contract: dense recomputation agrees bitwise
@@ -136,10 +175,20 @@ func (e *evaluator) marginalBatch(best []float64, cs []int) []float64 {
 		out[0] = e.marginal(best, cs[0])
 		return out
 	}
-	e.run(len(cs), func(k int) {
-		out[k] = e.marginalLocal(best, cs[k])
-	})
+	e.op.best, e.op.cs, e.op.out = best, cs, out
+	e.run(len(cs), e.batchFn)
 	return out
+}
+
+// scoreChunkTask accumulates one chunk of the final weighted score.
+func (e *evaluator) scoreChunkTask(chunk int) {
+	lo, hi := chunkBounds(chunk, len(e.objs))
+	w, best, div := e.w, e.op.best, e.op.div
+	var part float64
+	for i := lo; i < hi; i++ {
+		part += w[i] * best[i] / div
+	}
+	e.partials[chunk] = part
 }
 
 // score computes the normalized representative score from the
@@ -154,18 +203,10 @@ func (e *evaluator) score(best []float64, nSelected int) float64 {
 	if e.agg == AggAvg && nSelected > 0 {
 		div = float64(nSelected)
 	}
-	partials := e.partials
-	w := e.w
-	e.run(e.nChunks, func(chunk int) {
-		lo, hi := chunkBounds(chunk, n)
-		var part float64
-		for i := lo; i < hi; i++ {
-			part += w[i] * best[i] / div
-		}
-		partials[chunk] = part
-	})
+	e.op.best, e.op.div = best, div
+	e.run(e.nChunks, e.scoreChunkFn)
 	var total float64
-	for _, p := range partials {
+	for _, p := range e.partials {
 		total += p
 	}
 	return total / float64(n)

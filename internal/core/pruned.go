@@ -168,10 +168,18 @@ func (e *evaluator) marginalPruned(best []float64, c int) float64 {
 	if !ok {
 		return e.marginalLocal(best, c)
 	}
+	// Row ops are nil for metrics without a bounded support radius —
+	// those never build a neighbor index, so this is pure defense.
+	if e.soa != nil && e.soa.rowMarginalSum != nil {
+		if e.sumAgg() {
+			return e.soa.rowMarginalSum(e.w, row, c)
+		}
+		return e.soa.rowMarginalMax(e.w, best, row, c)
+	}
 	kern, w := e.kern, e.w
 	var gain, part float64
 	chunk := 0
-	if e.agg == AggSum || e.agg == AggAvg {
+	if e.sumAgg() {
 		for _, ei := range row {
 			i := int(ei)
 			if nc := i / evalChunk; nc != chunk {
@@ -203,26 +211,36 @@ func (e *evaluator) marginalPruned(best []float64, c int) float64 {
 // object range would be. Objects outside the row keep their state —
 // exactly what the dense pass would do with their zero kernel value.
 func (e *evaluator) absorbPruned(best []float64, sel int, row []int32) {
-	kern := e.kern
-	m := len(row)
-	nChunks := (m + evalChunk - 1) / evalChunk
-	if e.agg == AggSum || e.agg == AggAvg {
-		e.run(nChunks, func(chunk int) {
-			lo, hi := chunkBounds(chunk, m)
-			for k := lo; k < hi; k++ {
-				i := int(row[k])
-				best[i] += kern(i, sel)
-			}
-		})
+	e.op.best, e.op.sel, e.op.row = best, sel, row
+	rowChunks := (len(row) + evalChunk - 1) / evalChunk
+	e.run(rowChunks, e.absorbRowFn)
+}
+
+// absorbRowTask is the pruned absorb loop body for one row chunk.
+func (e *evaluator) absorbRowTask(chunk int) {
+	row := e.op.row
+	lo, hi := chunkBounds(chunk, len(row))
+	best, sel := e.op.best, e.op.sel
+	if e.soa != nil && e.soa.rowAbsorbSum != nil {
+		if e.sumAgg() {
+			e.soa.rowAbsorbSum(best, row, lo, hi, sel)
+		} else {
+			e.soa.rowAbsorbMax(best, row, lo, hi, sel)
+		}
 		return
 	}
-	e.run(nChunks, func(chunk int) {
-		lo, hi := chunkBounds(chunk, m)
+	kern := e.kern
+	if e.sumAgg() {
 		for k := lo; k < hi; k++ {
 			i := int(row[k])
-			if v := kern(i, sel); v > best[i] {
-				best[i] = v
-			}
+			best[i] += kern(i, sel)
 		}
-	})
+		return
+	}
+	for k := lo; k < hi; k++ {
+		i := int(row[k])
+		if v := kern(i, sel); v > best[i] {
+			best[i] = v
+		}
+	}
 }

@@ -78,7 +78,9 @@ func Score(objs []geodata.Object, sel []int, m sim.Metric, agg Agg) float64 {
 		pool = parallel.New(0)
 		defer pool.Close()
 	}
-	e := newEvaluator(nil, objs, m, agg, pool)
+	// The SoA fast path stays on: its reductions are bitwise-equal to
+	// the kernel-closure ones, so the ground truth is unchanged.
+	e := newEvaluator(nil, objs, m, agg, pool, false)
 	// Exact-radius pruning only (eps = 0): Score is the ground truth the
 	// rest of the system is checked against, so it must stay bitwise
 	// equal to the dense evaluation.
@@ -125,7 +127,7 @@ func Representatives(objs []geodata.Object, sel []int, m sim.Metric) []int {
 	}
 	// The nil-ctx evaluator's run wrapper cannot fail, which keeps this
 	// loop free of an impossible error path.
-	e := newEvaluator(nil, objs, m, AggMax, pool)
+	e := newEvaluator(nil, objs, m, AggMax, pool, false)
 	n := len(objs)
 	e.run(e.nChunks, func(chunk int) {
 		lo, hi := chunkBounds(chunk, n)

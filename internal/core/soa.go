@@ -1,0 +1,704 @@
+// The structure-of-arrays fast path of the evaluation engine. The
+// compiled kernels of internal/sim already avoid interface dispatch,
+// but they are still one indirect closure call per object pair, and the
+// cosine kernel still copies per-object Vector headers (two slice
+// headers plus a norm per side). This file rebuilds the run's object
+// data as flat columns — x[], y[], mass (the weight column the
+// evaluator already extracts), and one bit-packed CSR arena for the
+// term vectors — and hand-specializes the four hot reductions (absorb
+// and marginal gain, dense ranges and pruned rows, per aggregation)
+// into concrete loops per built-in metric.
+//
+// Why hand-specialized and not generic: Go's gcshape stenciling
+// compiles a generic reduction's k.at(i, j) into a dictionary method
+// call — one indirect call per pair, the exact cost the SoA path
+// exists to remove — and the compiler does not devirtualize dictionary
+// calls even when the instantiation inlines (verified against go1.24
+// with -gcflags=-m=2: the shape body keeps a CALL through a register).
+// Concrete methods sidestep the dictionary: the pair math inlines into
+// the loop bodies, the candidate side of every pair (its coordinates,
+// packed term row and norm) hoists out of the loop, and the columns
+// pre-slice for bounds-check elimination. None of that is legal across
+// an opaque per-pair call boundary.
+//
+// Bitwise contract: every loop performs exactly the floating-point
+// operations of the corresponding kernel closure in sim.CompileKernel,
+// in the same order, on the same values (positions are copied verbatim,
+// packed term weights preserve their float32 bits), and accumulates in
+// the same chunk order as the kernel-closure path. Terms the closure
+// path would add as exactly ±0.0 may be skipped: accumulators start at
+// +0.0 and IEEE-754 addition only produces -0.0 from two -0.0 operands,
+// so an accumulator can never be -0.0 and adding ±0.0 to it is the
+// identity. The SoA path is therefore bitwise-interchangeable with the
+// baseline — engine.Config.DisableSoA switches it off for ablation
+// only, never for correctness.
+package core
+
+import (
+	"math"
+
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+	"geosel/internal/textsim"
+)
+
+// euclidPair is EuclideanProximity over x/y columns. at is the spec the
+// specialized loops inline by hand; compileSoA only builds the pair for
+// maxDist > 0, so the loops drop the degenerate branch (the degenerate
+// metric keeps the kernel-closure path, which handles it).
+type euclidPair struct {
+	xs, ys  []float64
+	maxDist float64
+}
+
+func (k euclidPair) at(i, j int) float64 {
+	if k.maxDist <= 0 {
+		return 0
+	}
+	dx := k.xs[i] - k.xs[j]
+	dy := k.ys[i] - k.ys[j]
+	s := 1 - math.Sqrt(dx*dx+dy*dy)/k.maxDist
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// gaussPair is GaussianProximity over x/y columns; compileSoA only
+// builds it for sigma > 0.
+type gaussPair struct {
+	xs, ys []float64
+	sigma  float64
+}
+
+func (k gaussPair) at(i, j int) float64 {
+	if k.sigma <= 0 {
+		if k.xs[i] == k.xs[j] && k.ys[i] == k.ys[j] {
+			return 1
+		}
+		return 0
+	}
+	dx := k.xs[i] - k.xs[j]
+	dy := k.ys[i] - k.ys[j]
+	d := math.Sqrt(dx*dx+dy*dy) / k.sigma
+	return math.Exp(-d * d)
+}
+
+// cosinePair is Cosine over the bit-packed CSR term arena. Index
+// equality is object identity on a fixed slice, preserving the
+// self-similarity special case of the compiled kernel.
+type cosinePair struct {
+	vecs textsim.Packed
+}
+
+func (k cosinePair) at(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return k.vecs.Cosine(i, j)
+}
+
+// hybridEuclidPair and hybridGaussPair mix the cosine arena with a
+// spatial pair kernel, mirroring the compiled Hybrid kernel's
+// alpha*text + (1-alpha)*spatial. Two concrete types instead of one
+// generic hybridPair[S]: a type parameter would bring the dictionary
+// call back.
+type hybridEuclidPair struct {
+	text    cosinePair
+	spatial euclidPair
+	alpha   float64
+}
+
+func (k hybridEuclidPair) at(i, j int) float64 {
+	return k.alpha*k.text.at(i, j) + (1-k.alpha)*k.spatial.at(i, j)
+}
+
+type hybridGaussPair struct {
+	text    cosinePair
+	spatial gaussPair
+	alpha   float64
+}
+
+func (k hybridGaussPair) at(i, j int) float64 {
+	return k.alpha*k.text.at(i, j) + (1-k.alpha)*k.spatial.at(i, j)
+}
+
+// soaOps is the bound reduction set for one concrete metric, built once
+// per evaluator. The function values cost one indirect call per range
+// or row — hundreds of pairs — not per pair. The row variants are nil
+// for metrics without a bounded support radius (cosine, hybrid): the
+// evaluator never builds a neighbor index for those, and the call sites
+// fall back to the kernel closure if one ever appears.
+type soaOps struct {
+	absorbSum   func(best []float64, lo, hi, sel int)
+	absorbMax   func(best []float64, lo, hi, sel int)
+	marginalSum func(w []float64, lo, hi, c int) float64
+	marginalMax func(w, best []float64, lo, hi, c int) float64
+
+	rowAbsorbSum   func(best []float64, row []int32, lo, hi, sel int)
+	rowAbsorbMax   func(best []float64, row []int32, lo, hi, sel int)
+	rowMarginalSum func(w []float64, row []int32, c int) float64
+	rowMarginalMax func(w, best []float64, row []int32, c int) float64
+}
+
+// --- Euclidean loops --------------------------------------------------
+//
+// Specialization notes, shared by all eight loops: sel/c's coordinates
+// load once; the s > 0 guard replaces "add v where v is 0 or s" — a
+// skipped term is exactly ±0.0 (see the package comment) — and the
+// max-aggregation comparisons rely on best[i] >= 0, which holds because
+// max state starts at +0.0 and similarities are non-negative.
+
+func (k euclidPair) absorbSum(best []float64, lo, hi, sel int) {
+	xc, yc, maxDist := k.xs[sel], k.ys[sel], k.maxDist
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	best = best[lo:hi]
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > 0 {
+			best[i] += s
+		}
+	}
+}
+
+func (k euclidPair) absorbMax(best []float64, lo, hi, sel int) {
+	xc, yc, maxDist := k.xs[sel], k.ys[sel], k.maxDist
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	best = best[lo:hi]
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > best[i] {
+			best[i] = s
+		}
+	}
+}
+
+func (k euclidPair) marginalSum(w []float64, lo, hi, c int) float64 {
+	xc, yc, maxDist := k.xs[c], k.ys[c], k.maxDist
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	w = w[lo:hi]
+	var part float64
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > 0 {
+			part += w[i] * s
+		}
+	}
+	return part
+}
+
+func (k euclidPair) marginalMax(w, best []float64, lo, hi, c int) float64 {
+	xc, yc, maxDist := k.xs[c], k.ys[c], k.maxDist
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	w, best = w[lo:hi], best[lo:hi]
+	var part float64
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > best[i] {
+			part += w[i] * (s - best[i])
+		}
+	}
+	return part
+}
+
+func (k euclidPair) rowAbsorbSum(best []float64, row []int32, lo, hi, sel int) {
+	xc, yc, maxDist := k.xs[sel], k.ys[sel], k.maxDist
+	xs, ys := k.xs, k.ys
+	for _, ei := range row[lo:hi] {
+		i := int(ei)
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > 0 {
+			best[i] += s
+		}
+	}
+}
+
+func (k euclidPair) rowAbsorbMax(best []float64, row []int32, lo, hi, sel int) {
+	xc, yc, maxDist := k.xs[sel], k.ys[sel], k.maxDist
+	xs, ys := k.xs, k.ys
+	for _, ei := range row[lo:hi] {
+		i := int(ei)
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > best[i] {
+			best[i] = s
+		}
+	}
+}
+
+// The row marginals emulate the dense chunk-partial flush order exactly
+// like marginalPruned: a partial per evalChunk range, flushed in
+// increasing chunk order.
+
+func (k euclidPair) rowMarginalSum(w []float64, row []int32, c int) float64 {
+	xc, yc, maxDist := k.xs[c], k.ys[c], k.maxDist
+	xs, ys := k.xs, k.ys
+	var gain, part float64
+	chunk := 0
+	for _, ei := range row {
+		i := int(ei)
+		if nc := i / evalChunk; nc != chunk {
+			gain += part
+			part = 0
+			chunk = nc
+		}
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > 0 {
+			part += w[i] * s
+		}
+	}
+	return gain + part
+}
+
+func (k euclidPair) rowMarginalMax(w, best []float64, row []int32, c int) float64 {
+	xc, yc, maxDist := k.xs[c], k.ys[c], k.maxDist
+	xs, ys := k.xs, k.ys
+	var gain, part float64
+	chunk := 0
+	for _, ei := range row {
+		i := int(ei)
+		if nc := i / evalChunk; nc != chunk {
+			gain += part
+			part = 0
+			chunk = nc
+		}
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		if s := 1 - math.Sqrt(dx*dx+dy*dy)/maxDist; s > best[i] {
+			part += w[i] * (s - best[i])
+		}
+	}
+	return gain + part
+}
+
+func (k euclidPair) ops() *soaOps {
+	return &soaOps{
+		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
+		marginalSum: k.marginalSum, marginalMax: k.marginalMax,
+		rowAbsorbSum: k.rowAbsorbSum, rowAbsorbMax: k.rowAbsorbMax,
+		rowMarginalSum: k.rowMarginalSum, rowMarginalMax: k.rowMarginalMax,
+	}
+}
+
+// --- Gaussian loops ---------------------------------------------------
+//
+// exp(-d²) is strictly positive (underflow bottoms out at +0.0), so the
+// sum loops add unconditionally like the closure path does.
+
+func (k gaussPair) absorbSum(best []float64, lo, hi, sel int) {
+	xc, yc, sigma := k.xs[sel], k.ys[sel], k.sigma
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	best = best[lo:hi]
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		best[i] += math.Exp(-d * d)
+	}
+}
+
+func (k gaussPair) absorbMax(best []float64, lo, hi, sel int) {
+	xc, yc, sigma := k.xs[sel], k.ys[sel], k.sigma
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	best = best[lo:hi]
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		if v := math.Exp(-d * d); v > best[i] {
+			best[i] = v
+		}
+	}
+}
+
+func (k gaussPair) marginalSum(w []float64, lo, hi, c int) float64 {
+	xc, yc, sigma := k.xs[c], k.ys[c], k.sigma
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	w = w[lo:hi]
+	var part float64
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		part += w[i] * math.Exp(-d*d)
+	}
+	return part
+}
+
+func (k gaussPair) marginalMax(w, best []float64, lo, hi, c int) float64 {
+	xc, yc, sigma := k.xs[c], k.ys[c], k.sigma
+	xs, ys := k.xs[lo:hi], k.ys[lo:hi]
+	w, best = w[lo:hi], best[lo:hi]
+	var part float64
+	for i := range xs {
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		if v := math.Exp(-d * d); v > best[i] {
+			part += w[i] * (v - best[i])
+		}
+	}
+	return part
+}
+
+func (k gaussPair) rowAbsorbSum(best []float64, row []int32, lo, hi, sel int) {
+	xc, yc, sigma := k.xs[sel], k.ys[sel], k.sigma
+	xs, ys := k.xs, k.ys
+	for _, ei := range row[lo:hi] {
+		i := int(ei)
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		best[i] += math.Exp(-d * d)
+	}
+}
+
+func (k gaussPair) rowAbsorbMax(best []float64, row []int32, lo, hi, sel int) {
+	xc, yc, sigma := k.xs[sel], k.ys[sel], k.sigma
+	xs, ys := k.xs, k.ys
+	for _, ei := range row[lo:hi] {
+		i := int(ei)
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		if v := math.Exp(-d * d); v > best[i] {
+			best[i] = v
+		}
+	}
+}
+
+func (k gaussPair) rowMarginalSum(w []float64, row []int32, c int) float64 {
+	xc, yc, sigma := k.xs[c], k.ys[c], k.sigma
+	xs, ys := k.xs, k.ys
+	var gain, part float64
+	chunk := 0
+	for _, ei := range row {
+		i := int(ei)
+		if nc := i / evalChunk; nc != chunk {
+			gain += part
+			part = 0
+			chunk = nc
+		}
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		part += w[i] * math.Exp(-d*d)
+	}
+	return gain + part
+}
+
+func (k gaussPair) rowMarginalMax(w, best []float64, row []int32, c int) float64 {
+	xc, yc, sigma := k.xs[c], k.ys[c], k.sigma
+	xs, ys := k.xs, k.ys
+	var gain, part float64
+	chunk := 0
+	for _, ei := range row {
+		i := int(ei)
+		if nc := i / evalChunk; nc != chunk {
+			gain += part
+			part = 0
+			chunk = nc
+		}
+		dx := xs[i] - xc
+		dy := ys[i] - yc
+		d := math.Sqrt(dx*dx+dy*dy) / sigma
+		if v := math.Exp(-d * d); v > best[i] {
+			part += w[i] * (v - best[i])
+		}
+	}
+	return gain + part
+}
+
+func (k gaussPair) ops() *soaOps {
+	return &soaOps{
+		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
+		marginalSum: k.marginalSum, marginalMax: k.marginalMax,
+		rowAbsorbSum: k.rowAbsorbSum, rowAbsorbMax: k.rowAbsorbMax,
+		rowMarginalSum: k.rowMarginalSum, rowMarginalMax: k.rowMarginalMax,
+	}
+}
+
+// --- Cosine loops -----------------------------------------------------
+//
+// The candidate's packed row and norm hoist out of the loop: the
+// closure path re-derives both (and copies two Vector headers) on every
+// pair. dotPacked is the same ascending-id merge as Packed.Dot —
+// multiplication and the norm product commute exactly in IEEE-754, so
+// cosAt(i, c) is bitwise Packed.Cosine(i, c).
+
+// dotPacked is Packed.Dot over two raw term rows.
+func dotPacked(a, b []uint64) float64 {
+	var dot float64
+	ai, bi := 0, 0
+	for ai < len(a) && bi < len(b) {
+		ka, kb := a[ai]>>32, b[bi]>>32
+		switch {
+		case ka == kb:
+			dot += float64(textsim.UnpackWeight(a[ai])) * float64(textsim.UnpackWeight(b[bi]))
+			ai++
+			bi++
+		case ka < kb:
+			ai++
+		default:
+			bi++
+		}
+	}
+	return dot
+}
+
+// cosAt computes one cosine pair term against a hoisted candidate row:
+// cRow and cNorm are the candidate's packed terms and norm, i the other
+// side. Bitwise cosinePair.at(i, c).
+func (k cosinePair) cosAt(i, c int, cRow []uint64, cNorm float64) float64 {
+	if i == c {
+		return 1
+	}
+	ni := k.vecs.Norms[i]
+	if ni == 0 || cNorm == 0 {
+		return 0
+	}
+	v := dotPacked(k.vecs.Row(i), cRow) / (ni * cNorm)
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (k cosinePair) absorbSum(best []float64, lo, hi, sel int) {
+	cRow, cNorm := k.vecs.Row(sel), k.vecs.Norms[sel]
+	for i := lo; i < hi; i++ {
+		best[i] += k.cosAt(i, sel, cRow, cNorm)
+	}
+}
+
+func (k cosinePair) absorbMax(best []float64, lo, hi, sel int) {
+	cRow, cNorm := k.vecs.Row(sel), k.vecs.Norms[sel]
+	for i := lo; i < hi; i++ {
+		if v := k.cosAt(i, sel, cRow, cNorm); v > best[i] {
+			best[i] = v
+		}
+	}
+}
+
+func (k cosinePair) marginalSum(w []float64, lo, hi, c int) float64 {
+	cRow, cNorm := k.vecs.Row(c), k.vecs.Norms[c]
+	var part float64
+	for i := lo; i < hi; i++ {
+		part += w[i] * k.cosAt(i, c, cRow, cNorm)
+	}
+	return part
+}
+
+func (k cosinePair) marginalMax(w, best []float64, lo, hi, c int) float64 {
+	cRow, cNorm := k.vecs.Row(c), k.vecs.Norms[c]
+	var part float64
+	for i := lo; i < hi; i++ {
+		if v := k.cosAt(i, c, cRow, cNorm); v > best[i] {
+			part += w[i] * (v - best[i])
+		}
+	}
+	return part
+}
+
+// ops: cosine has no bounded support radius, so the evaluator never
+// builds a neighbor index for it and the row variants stay nil.
+func (k cosinePair) ops() *soaOps {
+	return &soaOps{
+		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
+		marginalSum: k.marginalSum, marginalMax: k.marginalMax,
+	}
+}
+
+// --- Hybrid loops -----------------------------------------------------
+//
+// Both c-sides hoist: the candidate's packed row, norm and coordinates.
+// Each pair term is alpha*text + (1-alpha)*spatial in the exact order
+// of the compiled Hybrid kernel.
+
+func (k hybridEuclidPair) pairAt(i, c int, cRow []uint64, cNorm, xc, yc float64) float64 {
+	t := k.text.cosAt(i, c, cRow, cNorm)
+	var s float64
+	dx := k.spatial.xs[i] - xc
+	dy := k.spatial.ys[i] - yc
+	if e := 1 - math.Sqrt(dx*dx+dy*dy)/k.spatial.maxDist; e > 0 {
+		s = e
+	}
+	return k.alpha*t + (1-k.alpha)*s
+}
+
+func (k hybridEuclidPair) absorbSum(best []float64, lo, hi, sel int) {
+	cRow, cNorm := k.text.vecs.Row(sel), k.text.vecs.Norms[sel]
+	xc, yc := k.spatial.xs[sel], k.spatial.ys[sel]
+	for i := lo; i < hi; i++ {
+		best[i] += k.pairAt(i, sel, cRow, cNorm, xc, yc)
+	}
+}
+
+func (k hybridEuclidPair) absorbMax(best []float64, lo, hi, sel int) {
+	cRow, cNorm := k.text.vecs.Row(sel), k.text.vecs.Norms[sel]
+	xc, yc := k.spatial.xs[sel], k.spatial.ys[sel]
+	for i := lo; i < hi; i++ {
+		if v := k.pairAt(i, sel, cRow, cNorm, xc, yc); v > best[i] {
+			best[i] = v
+		}
+	}
+}
+
+func (k hybridEuclidPair) marginalSum(w []float64, lo, hi, c int) float64 {
+	cRow, cNorm := k.text.vecs.Row(c), k.text.vecs.Norms[c]
+	xc, yc := k.spatial.xs[c], k.spatial.ys[c]
+	var part float64
+	for i := lo; i < hi; i++ {
+		part += w[i] * k.pairAt(i, c, cRow, cNorm, xc, yc)
+	}
+	return part
+}
+
+func (k hybridEuclidPair) marginalMax(w, best []float64, lo, hi, c int) float64 {
+	cRow, cNorm := k.text.vecs.Row(c), k.text.vecs.Norms[c]
+	xc, yc := k.spatial.xs[c], k.spatial.ys[c]
+	var part float64
+	for i := lo; i < hi; i++ {
+		if v := k.pairAt(i, c, cRow, cNorm, xc, yc); v > best[i] {
+			part += w[i] * (v - best[i])
+		}
+	}
+	return part
+}
+
+func (k hybridEuclidPair) ops() *soaOps {
+	return &soaOps{
+		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
+		marginalSum: k.marginalSum, marginalMax: k.marginalMax,
+	}
+}
+
+func (k hybridGaussPair) pairAt(i, c int, cRow []uint64, cNorm, xc, yc float64) float64 {
+	t := k.text.cosAt(i, c, cRow, cNorm)
+	dx := k.spatial.xs[i] - xc
+	dy := k.spatial.ys[i] - yc
+	d := math.Sqrt(dx*dx+dy*dy) / k.spatial.sigma
+	return k.alpha*t + (1-k.alpha)*math.Exp(-d*d)
+}
+
+func (k hybridGaussPair) absorbSum(best []float64, lo, hi, sel int) {
+	cRow, cNorm := k.text.vecs.Row(sel), k.text.vecs.Norms[sel]
+	xc, yc := k.spatial.xs[sel], k.spatial.ys[sel]
+	for i := lo; i < hi; i++ {
+		best[i] += k.pairAt(i, sel, cRow, cNorm, xc, yc)
+	}
+}
+
+func (k hybridGaussPair) absorbMax(best []float64, lo, hi, sel int) {
+	cRow, cNorm := k.text.vecs.Row(sel), k.text.vecs.Norms[sel]
+	xc, yc := k.spatial.xs[sel], k.spatial.ys[sel]
+	for i := lo; i < hi; i++ {
+		if v := k.pairAt(i, sel, cRow, cNorm, xc, yc); v > best[i] {
+			best[i] = v
+		}
+	}
+}
+
+func (k hybridGaussPair) marginalSum(w []float64, lo, hi, c int) float64 {
+	cRow, cNorm := k.text.vecs.Row(c), k.text.vecs.Norms[c]
+	xc, yc := k.spatial.xs[c], k.spatial.ys[c]
+	var part float64
+	for i := lo; i < hi; i++ {
+		part += w[i] * k.pairAt(i, c, cRow, cNorm, xc, yc)
+	}
+	return part
+}
+
+func (k hybridGaussPair) marginalMax(w, best []float64, lo, hi, c int) float64 {
+	cRow, cNorm := k.text.vecs.Row(c), k.text.vecs.Norms[c]
+	xc, yc := k.spatial.xs[c], k.spatial.ys[c]
+	var part float64
+	for i := lo; i < hi; i++ {
+		if v := k.pairAt(i, c, cRow, cNorm, xc, yc); v > best[i] {
+			part += w[i] * (v - best[i])
+		}
+	}
+	return part
+}
+
+func (k hybridGaussPair) ops() *soaOps {
+	return &soaOps{
+		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
+		marginalSum: k.marginalSum, marginalMax: k.marginalMax,
+	}
+}
+
+// --- compilation ------------------------------------------------------
+
+// soaColumns extracts the flat position columns once per run.
+func soaColumns(objs []geodata.Object) (xs, ys []float64) {
+	xs = make([]float64, len(objs))
+	ys = make([]float64, len(objs))
+	for i := range objs {
+		xs[i] = objs[i].Loc.X
+		ys[i] = objs[i].Loc.Y
+	}
+	return xs, ys
+}
+
+// packVectors builds the bit-packed CSR term arena once per run.
+func packVectors(objs []geodata.Object) textsim.Packed {
+	vecs := make([]textsim.Vector, len(objs))
+	for i := range objs {
+		vecs[i] = objs[i].Vec
+	}
+	return textsim.Pack(vecs)
+}
+
+// compileSoA builds the SoA columns and specialized reductions for the
+// built-in metrics; nil means the metric has no SoA form (custom
+// metrics, hybrids over non-built-in parts, or degenerate parameters —
+// maxDist/sigma <= 0 — whose extra per-pair branch is not worth a
+// specialization) and the evaluator keeps the kernel-closure path.
+func compileSoA(m sim.Metric, objs []geodata.Object) *soaOps {
+	switch mt := m.(type) {
+	case sim.EuclideanProximity:
+		if mt.MaxDist <= 0 {
+			return nil
+		}
+		xs, ys := soaColumns(objs)
+		return euclidPair{xs: xs, ys: ys, maxDist: mt.MaxDist}.ops()
+	case sim.GaussianProximity:
+		if mt.Sigma <= 0 {
+			return nil
+		}
+		xs, ys := soaColumns(objs)
+		return gaussPair{xs: xs, ys: ys, sigma: mt.Sigma}.ops()
+	case sim.Cosine:
+		return cosinePair{vecs: packVectors(objs)}.ops()
+	case sim.Hybrid:
+		if _, ok := mt.Text.(sim.Cosine); !ok {
+			return nil
+		}
+		text := cosinePair{vecs: packVectors(objs)}
+		switch sp := mt.Spatial.(type) {
+		case sim.EuclideanProximity:
+			if sp.MaxDist <= 0 {
+				return nil
+			}
+			xs, ys := soaColumns(objs)
+			return hybridEuclidPair{text: text, spatial: euclidPair{xs: xs, ys: ys, maxDist: sp.MaxDist}, alpha: mt.Alpha}.ops()
+		case sim.GaussianProximity:
+			if sp.Sigma <= 0 {
+				return nil
+			}
+			xs, ys := soaColumns(objs)
+			return hybridGaussPair{text: text, spatial: gaussPair{xs: xs, ys: ys, sigma: sp.Sigma}, alpha: mt.Alpha}.ops()
+		}
+	}
+	return nil
+}

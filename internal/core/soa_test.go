@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"geosel/internal/engine"
+	"geosel/internal/geodata"
+	"geosel/internal/sim"
+)
+
+// soaTestMetrics are the built-in metrics with a fused SoA form, each
+// paired with the dimension label used in failure messages.
+func soaTestMetrics(t *testing.T) map[string]sim.Metric {
+	t.Helper()
+	hybridGauss := sim.Hybrid{Alpha: 0.4, Text: sim.Cosine{}, Spatial: sim.GaussianProximity{Sigma: 0.2}}
+	return map[string]sim.Metric{
+		"euclid":       sim.EuclideanProximity{MaxDist: 0.3},
+		"gauss":        sim.GaussianProximity{Sigma: 0.2},
+		"cosine":       sim.Cosine{},
+		"hybrid":       hybridMetric(t),
+		"hybrid-gauss": hybridGauss,
+	}
+}
+
+// TestSoAMarginalBitwiseEqual checks the core bitwise contract at the
+// evaluator level: for every built-in metric the SoA reductions produce
+// exactly the floats of the kernel-closure path — marginal gains,
+// absorb states, and scores, dense and pruned.
+func TestSoAMarginalBitwiseEqual(t *testing.T) {
+	objs := testObjects(700, 31) // above serialCutoff so pruning engages
+	ids := make([]int, len(objs))
+	for i := range ids {
+		ids[i] = i
+	}
+	for name, m := range soaTestMetrics(t) {
+		for _, agg := range []Agg{AggMax, AggSum} {
+			for _, eps := range []float64{0, 1e-3} {
+				aos := newEvaluator(nil, objs, m, agg, nil, true)
+				soa := newEvaluator(nil, objs, m, agg, nil, false)
+				if soa.soa == nil {
+					t.Fatalf("%s: compileSoA returned nil for a built-in metric", name)
+				}
+				aos.enablePruning(m, eps, ids)
+				soa.enablePruning(m, eps, ids)
+				bestA := make([]float64, len(objs))
+				bestS := make([]float64, len(objs))
+				rng := rand.New(rand.NewSource(5))
+				for round := 0; round < 4; round++ {
+					sel := rng.Intn(len(objs))
+					aos.absorb(bestA, sel)
+					soa.absorb(bestS, sel)
+					for i := range bestA {
+						if bestA[i] != bestS[i] {
+							t.Fatalf("%s agg=%v eps=%v: absorb state[%d] %v (AoS) vs %v (SoA)",
+								name, agg, eps, i, bestA[i], bestS[i])
+						}
+					}
+					for probe := 0; probe < 20; probe++ {
+						c := rng.Intn(len(objs))
+						ga := aos.marginal(bestA, c)
+						gs := soa.marginal(bestS, c)
+						if ga != gs {
+							t.Fatalf("%s agg=%v eps=%v: marginal(%d) %v (AoS) vs %v (SoA)", name, agg, eps, c, ga, gs)
+						}
+					}
+					if sa, ss := aos.score(bestA, round+1), soa.score(bestS, round+1); sa != ss {
+						t.Fatalf("%s agg=%v eps=%v: score %v (AoS) vs %v (SoA)", name, agg, eps, sa, ss)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompileSoAFallback pins the fallback contract: metrics without a
+// flat-column form keep the kernel-closure path.
+func TestCompileSoAFallback(t *testing.T) {
+	objs := testObjects(10, 1)
+	custom := sim.Func(func(a, b *geodata.Object) float64 { return 0 })
+	if ops := compileSoA(custom, objs); ops != nil {
+		t.Error("custom sim.Func compiled to SoA")
+	}
+	weird := sim.Hybrid{Alpha: 0.5, Text: sim.EuclideanProximity{MaxDist: 1}, Spatial: sim.Cosine{}}
+	if ops := compileSoA(weird, objs); ops != nil {
+		t.Error("hybrid with non-cosine text compiled to SoA")
+	}
+	e := newEvaluator(nil, objs, sim.Cosine{}, AggMax, nil, true)
+	if e.soa != nil {
+		t.Error("DisableSoA did not disable the SoA path")
+	}
+}
+
+// runConfig is one cell of the equivalence matrix.
+type runConfig struct {
+	par        int
+	disableSoA bool
+	stripes    int
+}
+
+// TestSelectionEquivalenceMatrix is the end-to-end determinism proof of
+// the data-oriented rewrite: across Parallelism × PruneEps × metric ×
+// {AoS, SoA} × stripe-count overrides, every Selector run returns the
+// identical selection, bitwise-identical score, and bitwise-identical
+// gain sequence. The reference cell is the serial AoS single-stripe run
+// — the pre-rewrite configuration.
+func TestSelectionEquivalenceMatrix(t *testing.T) {
+	objs := testObjects(650, 77)
+	variants := []runConfig{
+		{par: 1, disableSoA: false, stripes: 0},
+		{par: 1, disableSoA: false, stripes: 3},
+		{par: 2, disableSoA: false, stripes: 0},
+		{par: 2, disableSoA: true, stripes: 0},
+		{par: 4, disableSoA: false, stripes: 7},
+		{par: 4, disableSoA: true, stripes: 2},
+	}
+	for name, m := range soaTestMetrics(t) {
+		for _, eps := range []float64{0, 1e-3} {
+			run := func(rc runConfig) *Result {
+				t.Helper()
+				sel := &Selector{
+					Config: engine.Config{
+						K: 9, Theta: 0.05, Metric: m, Parallelism: rc.par,
+						PruneEps: eps, DisableSoA: rc.disableSoA,
+					},
+					Objects:      objs,
+					forceStripes: rc.stripes,
+				}
+				res, err := sel.Run(context.Background())
+				if err != nil {
+					t.Fatalf("%s eps=%v %+v: %v", name, eps, rc, err)
+				}
+				return res
+			}
+			ref := run(runConfig{par: 1, disableSoA: true, stripes: 1})
+			for _, rc := range variants {
+				got := run(rc)
+				if len(got.Selected) != len(ref.Selected) {
+					t.Fatalf("%s eps=%v %+v: %d selected, ref %d", name, eps, rc, len(got.Selected), len(ref.Selected))
+				}
+				for i := range ref.Selected {
+					if got.Selected[i] != ref.Selected[i] {
+						t.Fatalf("%s eps=%v %+v: pick %d = %d, ref %d", name, eps, rc, i, got.Selected[i], ref.Selected[i])
+					}
+				}
+				if got.Score != ref.Score {
+					t.Fatalf("%s eps=%v %+v: score %v, ref %v (diff %v)",
+						name, eps, rc, got.Score, ref.Score, math.Abs(got.Score-ref.Score))
+				}
+				for i := range ref.Gains {
+					if got.Gains[i] != ref.Gains[i] {
+						t.Fatalf("%s eps=%v %+v: gain %d = %v, ref %v", name, eps, rc, i, got.Gains[i], ref.Gains[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectionEquivalenceWithBounds repeats the matrix check on the
+// prefetched-bounds path (InitialGains + Heapify with Iter -1), where
+// the striped heap is seeded with stale upper bounds instead of exact
+// gains.
+func TestSelectionEquivalenceWithBounds(t *testing.T) {
+	objs := testObjects(650, 78)
+	m := hybridMetric(t)
+	cands := make([]int, len(objs))
+	for i := range cands {
+		cands[i] = i
+	}
+	// Valid upper bounds: Σω (every similarity is <= 1).
+	var sumW float64
+	for i := range objs {
+		sumW += objs[i].Weight
+	}
+	bounds := make([]float64, len(cands))
+	for i := range bounds {
+		bounds[i] = sumW
+	}
+	run := func(rc runConfig) *Result {
+		t.Helper()
+		sel := &Selector{
+			Config:       engine.Config{K: 7, Theta: 0.05, Metric: m, Parallelism: rc.par, DisableSoA: rc.disableSoA},
+			Objects:      objs,
+			Candidates:   cands,
+			InitialGains: bounds,
+			forceStripes: rc.stripes,
+		}
+		res, err := sel.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%+v: %v", rc, err)
+		}
+		return res
+	}
+	ref := run(runConfig{par: 1, disableSoA: true, stripes: 1})
+	for _, rc := range []runConfig{
+		{par: 1, stripes: 0}, {par: 2, stripes: 5}, {par: 4, disableSoA: true, stripes: 0},
+	} {
+		got := run(rc)
+		if len(got.Selected) != len(ref.Selected) || got.Score != ref.Score {
+			t.Fatalf("%+v: selection/score diverged: %v/%v vs %v/%v",
+				rc, got.Selected, got.Score, ref.Selected, ref.Score)
+		}
+		for i := range ref.Selected {
+			if got.Selected[i] != ref.Selected[i] {
+				t.Fatalf("%+v: pick %d = %d, ref %d", rc, i, got.Selected[i], ref.Selected[i])
+			}
+		}
+	}
+}

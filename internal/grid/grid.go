@@ -157,12 +157,35 @@ func (g *Grid) Neighbors(center geo.Point, r float64) []int {
 
 // AppendWithin is Neighbors with caller-managed allocation: it appends
 // the ids within distance d of q to dst and returns the extended slice,
-// letting bulk builders reuse one buffer per worker.
+// letting bulk builders reuse one buffer per worker. The cell walk is
+// inlined rather than delegated to Within so a reused buffer makes the
+// whole query allocation-free (the greedy steady state calls this once
+// per pick).
 func (g *Grid) AppendWithin(dst []int, q geo.Point, d float64) []int {
-	g.Within(q, d, func(id int, _ geo.Point) bool {
-		dst = append(dst, id)
-		return true
-	})
+	if d < 0 {
+		return dst
+	}
+	d2 := d * d
+	r := g.nx + g.ny
+	if d < float64(r)*g.cell {
+		r = int(d/g.cell) + 1
+	}
+	qcx, qcy := g.cellCoords(q)
+	for cy := qcy - r; cy <= qcy+r; cy++ {
+		if cy < 0 || cy >= g.ny {
+			continue
+		}
+		for cx := qcx - r; cx <= qcx+r; cx++ {
+			if cx < 0 || cx >= g.nx {
+				continue
+			}
+			for _, e := range g.cells[g.key(cx, cy)] {
+				if e.pt.Dist2(q) <= d2 {
+					dst = append(dst, e.id)
+				}
+			}
+		}
+	}
 	return dst
 }
 

@@ -100,3 +100,36 @@ func TestAppendWithinReusesBuffer(t *testing.T) {
 		t.Fatalf("buffer after append: %v", buf)
 	}
 }
+
+func TestAppendWithinMatchesWithinAndNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := mustGrid(t, geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}, 0.05)
+	for i := 0; i < 500; i++ {
+		g.Insert(i, geo.Pt(rng.Float64(), rng.Float64()))
+	}
+	buf := make([]int, 0, 64)
+	for trial := 0; trial < 50; trial++ {
+		q := geo.Pt(rng.Float64(), rng.Float64())
+		d := rng.Float64() * 0.1
+		buf = g.AppendWithin(buf[:0], q, d)
+		want := g.CollectWithin(q, d)
+		sort.Ints(buf)
+		sort.Ints(want)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: AppendWithin %d ids, Within %d", trial, len(buf), len(want))
+		}
+		for k := range want {
+			if buf[k] != want[k] {
+				t.Fatalf("trial %d: id sets differ: %v vs %v", trial, buf, want)
+			}
+		}
+	}
+	// With a warm buffer the inlined cell walk is allocation-free.
+	q := geo.Pt(0.5, 0.5)
+	avg := testing.AllocsPerRun(100, func() {
+		buf = g.AppendWithin(buf[:0], q, 0.08)
+	})
+	if avg != 0 {
+		t.Fatalf("AppendWithin allocates %v per query, want 0", avg)
+	}
+}

@@ -38,6 +38,10 @@ import (
 type Pool struct {
 	workers int
 	tasks   chan *task
+	// t is the single task struct reused by every Run: wg.Wait at the
+	// end of each Run guarantees no worker still holds it when the next
+	// Run resets its fields, so the steady state allocates nothing.
+	t task
 }
 
 // task is one Run invocation: a loop body, the shared index cursor, the
@@ -136,7 +140,9 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(i int)) error {
 		}
 		return nil
 	}
-	t := &task{fn: fn, n: int64(n), done: done}
+	t := &p.t
+	t.fn, t.n, t.done = fn, int64(n), done
+	t.next.Store(0)
 	// Wake at most n-1 helpers; between Runs all workers are parked on
 	// the channel, so the sends cannot block on busy workers.
 	helpers := p.workers - 1

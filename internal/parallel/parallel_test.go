@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"geosel/internal/invariant"
 )
 
 func TestRunCoversAllIndices(t *testing.T) {
@@ -130,5 +132,27 @@ func TestRunNilContextNeverCancels(t *testing.T) {
 	}
 	if ran != 500 {
 		t.Fatalf("ran %d of 500", ran)
+	}
+}
+
+func TestRunTaskReuseNoAlloc(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate their diagnostic arguments")
+	}
+	// The pool reuses one task struct across Runs, so the steady state
+	// of an orchestrating loop allocates nothing per pass — on the
+	// inline single-worker path and on the channel-dispatch path alike.
+	for _, workers := range []int{1, 3} {
+		p := New(workers)
+		fn := func(int) {}
+		avg := testing.AllocsPerRun(200, func() {
+			if err := p.Run(nil, 64, fn); err != nil {
+				t.Fatal(err)
+			}
+		})
+		p.Close()
+		if avg != 0 {
+			t.Fatalf("workers=%d: Run allocates %v per call, want 0", workers, avg)
+		}
 	}
 }

@@ -44,18 +44,22 @@ import (
 func PairwiseBounds(ctx context.Context, col *geodata.Collection, envelopePos []int, m sim.Metric, workers int) (map[int]float64, error) {
 	sums := make([]float64, len(envelopePos))
 	objs := col.Objects
+	// One kernel compilation per pass (bitwise-identical to m.Sim by
+	// the CompileKernel contract) instead of one interface dispatch per
+	// pair — the same treatment the greedy core gives its hot loops.
+	kern, _ := sim.CompileKernel(m, objs)
 	pool := parallel.New(workers)
 	defer pool.Close()
-	pruned, err := pairwiseBoundsPruned(ctx, objs, envelopePos, m, pool, sums)
+	pruned, err := pairwiseBoundsPruned(ctx, objs, envelopePos, m, kern, pool, sums)
 	if err != nil {
 		return nil, err
 	}
 	if !pruned {
 		err := pool.Run(ctx, len(envelopePos), func(i int) {
 			var sum float64
-			op := &objs[envelopePos[i]]
+			p := envelopePos[i]
 			for _, q := range envelopePos {
-				sum += objs[q].Weight * m.Sim(op, &objs[q])
+				sum += objs[q].Weight * kern(p, q)
 			}
 			sums[i] = sum
 		})
@@ -87,7 +91,7 @@ const pruneCutoff = 512
 // exactly zero — and the bounds come out bitwise identical. Reports
 // whether it filled sums; false means the caller must run the dense
 // rows (unbounded metric or tiny envelope).
-func pairwiseBoundsPruned(ctx context.Context, objs []geodata.Object, envelopePos []int, m sim.Metric, pool *parallel.Pool, sums []float64) (bool, error) {
+func pairwiseBoundsPruned(ctx context.Context, objs []geodata.Object, envelopePos []int, m sim.Metric, kern sim.Kernel, pool *parallel.Pool, sums []float64) (bool, error) {
 	if len(envelopePos) < pruneCutoff {
 		return false, nil
 	}
@@ -112,13 +116,13 @@ func pairwiseBoundsPruned(ctx context.Context, objs []geodata.Object, envelopePo
 		g.Insert(k, objs[p].Loc)
 	}
 	runErr := pool.Run(ctx, len(envelopePos), func(i int) {
-		op := &objs[envelopePos[i]]
-		ks := g.Neighbors(op.Loc, r)
+		p := envelopePos[i]
+		ks := g.Neighbors(objs[p].Loc, r)
 		sort.Ints(ks)
 		var sum float64
 		for _, k := range ks {
 			q := envelopePos[k]
-			sum += objs[q].Weight * m.Sim(op, &objs[q])
+			sum += objs[q].Weight * kern(p, q)
 		}
 		sums[i] = sum
 	})
@@ -188,10 +192,12 @@ func PanBounds(ctx context.Context, view geodata.View, vp geo.Viewport, m sim.Me
 		}
 	}
 	sums := make([]float64, len(envPos))
+	kern, _ := sim.CompileKernel(m, objs)
 	pool := parallel.New(workers)
 	defer pool.Close()
 	err := pool.Run(ctx, len(envPos), func(i int) {
-		o := &objs[envPos[i]]
+		p := envPos[i]
+		o := &objs[p]
 		ro := geo.Rect{
 			Min: geo.Point{X: o.Loc.X - rw, Y: o.Loc.Y - rh},
 			Max: geo.Point{X: o.Loc.X + rw, Y: o.Loc.Y + rh},
@@ -203,7 +209,7 @@ func PanBounds(ctx context.Context, view geodata.View, vp geo.Viewport, m sim.Me
 		}
 		var sum float64
 		for _, q := range view.Region(window) {
-			sum += objs[q].Weight * m.Sim(o, &objs[q])
+			sum += objs[q].Weight * kern(p, q)
 		}
 		sums[i] = sum
 	})
