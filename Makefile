@@ -3,7 +3,7 @@
 
 GEOLINT := $(CURDIR)/bin/geolint
 
-.PHONY: all build test check race churn lint fuzz bench bench-smoke clean
+.PHONY: all build test check race churn lint hotlint escapecheck escapebaseline fuzz bench bench-smoke clean
 
 all: build lint test
 
@@ -38,6 +38,22 @@ $(GEOLINT): FORCE
 	go build -o $(GEOLINT) ./tools/geolint
 
 FORCE:
+
+# hotlint runs only the hot-path enforcement analyzers (call-graph
+# allocation discipline and pool aliasing) — a faster inner loop than
+# the full suite when iterating on kernel code. See DESIGN.md §10.
+hotlint:
+	go run ./tools/geolint -analyzers=hotalloc,poolshare ./...
+
+# escapecheck diffs the compiler's escape analysis over the hot-path
+# packages against the committed baseline; new heap escapes inside
+# //geolint:hotpath functions fail. escapebaseline regenerates the
+# baseline after a reviewed change (or a toolchain upgrade).
+escapecheck:
+	go run ./tools/escapediff
+
+escapebaseline:
+	go run ./tools/escapediff -update
 
 fuzz:
 	go test -run=NONE -fuzz=FuzzDeriveConsistency -fuzztime=10s ./internal/isos

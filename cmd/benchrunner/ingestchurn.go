@@ -60,9 +60,9 @@ type navLatencyRow struct {
 // ingestReport is the BENCH_ingest.json schema.
 type ingestReport struct {
 	Env       benchEnv `json:"env"`
-	N         int    `json:"n"`
-	TraceLen  int    `json:"trace_len"`
-	ChurnFrac string `json:"churn_mix"`
+	N         int      `json:"n"`
+	TraceLen  int      `json:"trace_len"`
+	ChurnFrac string   `json:"churn_mix"`
 
 	Batches []ingestBatchRow `json:"batches"`
 

@@ -404,6 +404,8 @@ func (s *Selector) runLazy(e *evaluator, res *Result, best []float64, selected, 
 // either refresh a batch of stale tuples or select the fresh winner.
 // It reports done = true when the MinGain cutoff fires. The steady
 // state allocates nothing — every buffer it touches lives in st.
+//
+//geolint:hotpath
 func (s *Selector) lazyStep(e *evaluator, res *Result, st *runState) (bool, error) {
 	t, _ := st.h.Pop()
 	if t.Iter != st.iter {

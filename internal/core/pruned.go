@@ -217,6 +217,8 @@ func (e *evaluator) absorbPruned(best []float64, sel int, row []int32) {
 }
 
 // absorbRowTask is the pruned absorb loop body for one row chunk.
+//
+//geolint:hotpath
 func (e *evaluator) absorbRowTask(chunk int) {
 	row := e.op.row
 	lo, hi := chunkBounds(chunk, len(row))

@@ -46,6 +46,8 @@ import (
 // specialized loops inline by hand; compileSoA only builds the pair for
 // maxDist > 0, so the loops drop the degenerate branch (the degenerate
 // metric keeps the kernel-closure path, which handles it).
+//
+//geolint:hotpath
 type euclidPair struct {
 	xs, ys  []float64
 	maxDist float64
@@ -66,6 +68,8 @@ func (k euclidPair) at(i, j int) float64 {
 
 // gaussPair is GaussianProximity over x/y columns; compileSoA only
 // builds it for sigma > 0.
+//
+//geolint:hotpath
 type gaussPair struct {
 	xs, ys []float64
 	sigma  float64
@@ -87,6 +91,8 @@ func (k gaussPair) at(i, j int) float64 {
 // cosinePair is Cosine over the bit-packed CSR term arena. Index
 // equality is object identity on a fixed slice, preserving the
 // self-similarity special case of the compiled kernel.
+//
+//geolint:hotpath
 type cosinePair struct {
 	vecs textsim.Packed
 }
@@ -103,6 +109,8 @@ func (k cosinePair) at(i, j int) float64 {
 // alpha*text + (1-alpha)*spatial. Two concrete types instead of one
 // generic hybridPair[S]: a type parameter would bring the dictionary
 // call back.
+//
+//geolint:hotpath
 type hybridEuclidPair struct {
 	text    cosinePair
 	spatial euclidPair
@@ -113,6 +121,7 @@ func (k hybridEuclidPair) at(i, j int) float64 {
 	return k.alpha*k.text.at(i, j) + (1-k.alpha)*k.spatial.at(i, j)
 }
 
+//geolint:hotpath
 type hybridGaussPair struct {
 	text    cosinePair
 	spatial gaussPair
@@ -277,6 +286,7 @@ func (k euclidPair) rowMarginalMax(w, best []float64, row []int32, c int) float6
 	return gain + part
 }
 
+//geolint:coldpath
 func (k euclidPair) ops() *soaOps {
 	return &soaOps{
 		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
@@ -415,6 +425,7 @@ func (k gaussPair) rowMarginalMax(w, best []float64, row []int32, c int) float64
 	return gain + part
 }
 
+//geolint:coldpath
 func (k gaussPair) ops() *soaOps {
 	return &soaOps{
 		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
@@ -511,6 +522,8 @@ func (k cosinePair) marginalMax(w, best []float64, lo, hi, c int) float64 {
 
 // ops: cosine has no bounded support radius, so the evaluator never
 // builds a neighbor index for it and the row variants stay nil.
+//
+//geolint:coldpath
 func (k cosinePair) ops() *soaOps {
 	return &soaOps{
 		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
@@ -575,6 +588,7 @@ func (k hybridEuclidPair) marginalMax(w, best []float64, lo, hi, c int) float64 
 	return part
 }
 
+//geolint:coldpath
 func (k hybridEuclidPair) ops() *soaOps {
 	return &soaOps{
 		absorbSum: k.absorbSum, absorbMax: k.absorbMax,
@@ -630,6 +644,7 @@ func (k hybridGaussPair) marginalMax(w, best []float64, lo, hi, c int) float64 {
 	return part
 }
 
+//geolint:coldpath
 func (k hybridGaussPair) ops() *soaOps {
 	return &soaOps{
 		absorbSum: k.absorbSum, absorbMax: k.absorbMax,

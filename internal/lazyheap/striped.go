@@ -27,6 +27,8 @@ type Runner func(n int, fn func(int))
 // space, popping globally in (gain desc, id asc) order — bitwise the
 // same sequence as a single Heap holding the same tuples. The zero
 // value is not usable; construct with NewStriped.
+//
+//geolint:hotpath
 type Striped struct {
 	stripes  []stripeHeap
 	stripeOf func(id int) int
@@ -310,7 +312,10 @@ func (h *Striped) Gain(id int) (float64, bool) {
 }
 
 // IDs returns the ids of all entries in unspecified order. It
-// allocates; intended for tests and diagnostics.
+// allocates; intended for tests and diagnostics, never called from the
+// selection loop.
+//
+//geolint:coldpath
 func (h *Striped) IDs() []int {
 	out := make([]int, 0, h.n)
 	for i := range h.stripes {

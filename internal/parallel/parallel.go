@@ -74,6 +74,8 @@ func New(workers int) *Pool {
 
 // worker takes the channel by value: Close nils the pool's field, and a
 // freshly spawned goroutine must not race that write.
+//
+//geolint:hotpath
 func worker(tasks <-chan *task) {
 	for t := range tasks {
 		t.run()
@@ -83,6 +85,8 @@ func worker(tasks <-chan *task) {
 
 // run drains the task's index space on the calling goroutine, bailing
 // out between indices once the task's context is cancelled.
+//
+//geolint:hotpath
 func (t *task) run() {
 	for {
 		if t.done != nil {
@@ -119,6 +123,8 @@ func (p *Pool) Workers() int {
 // indices, waits for in-flight fn calls to return, and reports
 // ctx.Err(). Some fn calls may then never have happened — outputs are
 // only complete when Run returns nil. A nil ctx never cancels.
+//
+//geolint:hotpath
 func (p *Pool) Run(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
 		return nil

@@ -55,7 +55,7 @@ func PairwiseBounds(ctx context.Context, col *geodata.Collection, envelopePos []
 		return nil, err
 	}
 	if !pruned {
-		err := pool.Run(ctx, len(envelopePos), func(i int) {
+		err := pool.Run(ctx, len(envelopePos), func(i int) { //geolint:hotpath
 			var sum float64
 			p := envelopePos[i]
 			for _, q := range envelopePos {
@@ -115,7 +115,7 @@ func pairwiseBoundsPruned(ctx context.Context, objs []geodata.Object, envelopePo
 	for k, p := range envelopePos {
 		g.Insert(k, objs[p].Loc)
 	}
-	runErr := pool.Run(ctx, len(envelopePos), func(i int) {
+	runErr := pool.Run(ctx, len(envelopePos), func(i int) { //geolint:hotpath
 		p := envelopePos[i]
 		ks := g.Neighbors(objs[p].Loc, r)
 		sort.Ints(ks)
@@ -195,7 +195,7 @@ func PanBounds(ctx context.Context, view geodata.View, vp geo.Viewport, m sim.Me
 	kern, _ := sim.CompileKernel(m, objs)
 	pool := parallel.New(workers)
 	defer pool.Close()
-	err := pool.Run(ctx, len(envPos), func(i int) {
+	err := pool.Run(ctx, len(envPos), func(i int) { //geolint:hotpath
 		p := envPos[i]
 		o := &objs[p]
 		ro := geo.Rect{

@@ -57,17 +57,25 @@ func NewTiled(ctx context.Context, col *geodata.Collection, envelopePos []int, e
 	for j, q := range envelopePos {
 		tileOf[j] = t.tileIndex(objs[q].Loc)
 	}
-	t.contrib = make([][]float64, len(envelopePos))
+	// One flat arena holds every row: rows are written disjointly by
+	// task index, and the tasks allocate nothing.
 	nt := tilesPerSide * tilesPerSide
+	arena := make([]float64, len(envelopePos)*nt)
+	t.contrib = make([][]float64, len(envelopePos))
+	for i := range t.contrib {
+		t.contrib[i] = arena[i*nt : (i+1)*nt]
+	}
+	// The compiled kernel is bitwise-identical to m.Sim on the same
+	// indices and skips the per-pair interface dispatch.
+	kern, _ := sim.CompileKernel(m, objs)
 	pool := parallel.New(workers)
 	defer pool.Close()
-	err := pool.Run(ctx, len(envelopePos), func(i int) {
-		row := make([]float64, nt)
-		op := &objs[envelopePos[i]]
+	err := pool.Run(ctx, len(envelopePos), func(i int) { //geolint:hotpath
+		row := t.contrib[i]
+		p := envelopePos[i]
 		for j, q := range envelopePos {
-			row[tileOf[j]] += objs[q].Weight * m.Sim(op, &objs[q])
+			row[tileOf[j]] += objs[q].Weight * kern(p, q)
 		}
-		t.contrib[i] = row
 	})
 	if err != nil {
 		return nil, err

@@ -32,7 +32,7 @@ func CompileKernel(m Metric, objs []geodata.Object) (Kernel, bool) {
 	switch mt := m.(type) {
 	case Cosine:
 		vecs := extractVectors(objs)
-		return func(i, j int) float64 {
+		return func(i, j int) float64 { //geolint:hotpath
 			// Index equality is pointer equality on a fixed slice,
 			// preserving the self-similarity special case.
 			if i == j {
@@ -43,7 +43,7 @@ func CompileKernel(m Metric, objs []geodata.Object) (Kernel, bool) {
 	case EuclideanProximity:
 		pts := extractPoints(objs)
 		maxDist := mt.MaxDist
-		return func(i, j int) float64 {
+		return func(i, j int) float64 { //geolint:hotpath
 			if maxDist <= 0 {
 				return 0
 			}
@@ -56,7 +56,7 @@ func CompileKernel(m Metric, objs []geodata.Object) (Kernel, bool) {
 	case GaussianProximity:
 		pts := extractPoints(objs)
 		sigma := mt.Sigma
-		return func(i, j int) float64 {
+		return func(i, j int) float64 { //geolint:hotpath
 			if sigma <= 0 {
 				if pts[i] == pts[j] {
 					return 1
@@ -73,11 +73,11 @@ func CompileKernel(m Metric, objs []geodata.Object) (Kernel, bool) {
 		text, tok := CompileKernel(mt.Text, objs)
 		spatial, sok := CompileKernel(mt.Spatial, objs)
 		alpha := mt.Alpha
-		return func(i, j int) float64 {
+		return func(i, j int) float64 { //geolint:hotpath
 			return alpha*text(i, j) + (1-alpha)*spatial(i, j)
 		}, tok && sok
 	}
-	return func(i, j int) float64 { return m.Sim(&objs[i], &objs[j]) }, false
+	return func(i, j int) float64 { return m.Sim(&objs[i], &objs[j]) }, false //geolint:hotpath
 }
 
 // PrunedKernel bundles a compiled kernel with the metric's support

@@ -25,6 +25,8 @@ import "math"
 // term id (the id order is preserved by packing, and comparing the high
 // bits of two words compares their term ids). Norms[i] is the
 // precomputed Euclidean norm, copied from Vector.Norm.
+//
+//geolint:hotpath
 type Packed struct {
 	Off   []int32
 	Words []uint64
@@ -37,6 +39,8 @@ func PackWord(id int32, w float32) uint64 {
 }
 
 // UnpackWeight extracts the exact float32 weight from a CSR word.
+//
+//geolint:hotpath
 func UnpackWeight(word uint64) float32 {
 	return math.Float32frombits(uint32(word))
 }

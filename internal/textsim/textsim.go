@@ -126,6 +126,8 @@ func FromTerms(vocab *Vocabulary, terms []string) Vector {
 func (a Vector) IsZero() bool { return len(a.IDs) == 0 }
 
 // Dot returns the dot product of a and b via a sorted merge.
+//
+//geolint:hotpath
 func (a Vector) Dot(b Vector) float64 {
 	var dot float64
 	i, j := 0, 0
@@ -146,6 +148,8 @@ func (a Vector) Dot(b Vector) float64 {
 
 // Cosine returns the cosine similarity of a and b in [0, 1]. The cosine
 // of anything with the zero vector is 0.
+//
+//geolint:hotpath
 func (a Vector) Cosine(b Vector) float64 {
 	if a.Norm == 0 || b.Norm == 0 {
 		return 0

@@ -1,0 +1,35 @@
+package hot
+
+//geolint:hotpath
+func HotSum(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//geolint:hotpath
+func HotAck() *int {
+	v := new(int) //geolint:coldpath
+	return v
+}
+
+func coldAlloc() []byte {
+	return make([]byte, 64)
+}
+
+//geolint:hotpath
+type ring struct{ buf []int }
+
+func (r *ring) grow(n int) {
+	r.buf = make([]int, n)
+}
+
+func Dispatch(f func()) { f() }
+
+func Outer() {
+	Dispatch(func() { //geolint:hotpath
+		_ = make([]int, 8)
+	})
+}

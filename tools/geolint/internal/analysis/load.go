@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package.
@@ -36,12 +38,44 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
+// loadCache memoizes Load per (dir, patterns): one `go list -json
+// -export` subprocess and one type-check per distinct package set per
+// process, shared by every analyzer and every repeated run. Loaded
+// packages are read-only after construction, so sharing is safe.
+var loadCache = struct {
+	sync.Mutex
+	m map[string][]*Package
+}{m: make(map[string][]*Package)}
+
 // Load resolves patterns with `go list -json -export -deps` in dir,
 // parses the matched (non-dependency) packages, and type-checks them
 // against the compiler's export data — the same inputs `go vet` feeds a
 // vettool, obtained without golang.org/x/tools. Test files are not
 // loaded (GoFiles excludes them), which matches the analyzers' scope.
+// Results are memoized per (dir, patterns), so a multi-analyzer run —
+// or a driver invoking Load once per analyzer — pays for the package
+// graph exactly once per process.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
+	}
+	key += "\x00" + strings.Join(patterns, "\x00")
+	loadCache.Lock()
+	defer loadCache.Unlock()
+	if pkgs, ok := loadCache.m[key]; ok {
+		return pkgs, nil
+	}
+	pkgs, err := load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	loadCache.m[key] = pkgs
+	return pkgs, nil
+}
+
+// load is the uncached package loader behind Load.
+func load(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{"list", "-json", "-export", "-deps", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

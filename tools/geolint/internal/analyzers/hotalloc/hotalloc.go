@@ -1,0 +1,713 @@
+// Package hotalloc enforces the zero-allocation discipline of the
+// greedy hot loop statically. Functions marked "//geolint:hotpath" (or
+// every method of a type so marked) are allocation roots; the analyzer
+// closes over the intra-package call graph from those roots and flags
+// allocation-inducing constructs in every reachable function: closure
+// captures, implicit interface boxing, make/new/composite-literal heap
+// allocations, appends to unsized local slices, map iteration, defer
+// inside loops, and fmt/string concatenation. Branches whose condition
+// is a compile-time constant false (the release-build shape of
+// invariant.Enabled) are skipped, mirroring the compiler's dead-code
+// elimination. A "//geolint:coldpath" directive on a function excludes
+// it from the hot set and stops propagation through it; on an
+// individual line it acknowledges one deliberate allocation site.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocation-inducing constructs reachable from " +
+		"//geolint:hotpath roots; //geolint:coldpath excludes a function " +
+		"or acknowledges one site",
+	Run: run,
+}
+
+// unit is one scannable body: a function declaration or a root func
+// literal (task and kernel closures are annotated directly because they
+// are dispatched through fields or returned, which static call-graph
+// construction cannot follow).
+type unit struct {
+	name string
+	body *ast.BlockStmt
+	// lit is set for root literals, whose own captures are not findings:
+	// the closure is created once, off the hot path, and only runs hot.
+	lit *ast.FuncLit
+	// results are the unit's result types, for return-boxing checks.
+	results *types.Tuple
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		hot:      make(map[*types.Func]bool),
+		rootLits: make(map[*ast.FuncLit]bool),
+	}
+	hotTypes := make(map[string]bool)
+	var order []*types.Func // deterministic seeding
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok && d.Body != nil {
+					w.decls[obj] = d
+					order = append(order, obj)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if pass.Suppressed(ts.Pos(), "hotpath") || pass.Suppressed(d.Pos(), "hotpath") {
+						hotTypes[ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+
+	cold := func(pos token.Pos) bool { return pass.Suppressed(pos, "coldpath") }
+
+	// Seed the worklist with annotated declarations, methods of
+	// annotated types, and annotated literals (task and kernel closures
+	// are annotated directly because they are dispatched through fields
+	// or returned, which static call-graph construction cannot follow).
+	for _, obj := range order {
+		d := w.decls[obj]
+		if pass.Suppressed(d.Pos(), "hotpath") || hotTypes[recvTypeName(d)] {
+			w.markHot(obj)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && pass.Suppressed(lit.Pos(), "hotpath") && !cold(lit.Pos()) {
+				w.rootLits[lit] = true
+				var results *types.Tuple
+				if sig, ok := pass.TypesInfo.Types[lit].Type.(*types.Signature); ok {
+					results = sig.Results()
+				}
+				w.queue = append(w.queue, unit{name: "func literal", body: lit.Body, lit: lit, results: results})
+			}
+			return true
+		})
+	}
+
+	// Scanning a unit reports its findings and feeds the reachability
+	// worklist: every reference to a package-local function from live
+	// (non-constant-false) hot code marks the target hot, and each
+	// function is scanned at most once. analysis.Run sorts diagnostics
+	// by position, so worklist order does not leak into the output.
+	for len(w.queue) > 0 {
+		u := w.queue[0]
+		w.queue = w.queue[1:]
+		s := &scanner{pass: pass, w: w, unit: u}
+		s.results = append(s.results, u.results)
+		s.collectUnsized(u.body)
+		s.stmt(u.body, 0)
+	}
+	return nil
+}
+
+// walker owns the cross-unit reachability state of one package run.
+type walker struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	hot      map[*types.Func]bool
+	rootLits map[*ast.FuncLit]bool
+	queue    []unit
+}
+
+// markHot queues a package-local function for scanning unless it is
+// already hot or declared //geolint:coldpath (which stops propagation).
+func (w *walker) markHot(obj *types.Func) {
+	d := w.decls[obj]
+	if d == nil || w.hot[obj] || w.pass.Suppressed(d.Pos(), "coldpath") {
+		return
+	}
+	w.hot[obj] = true
+	w.queue = append(w.queue, unit{
+		name:    obj.Name(),
+		body:    d.Body,
+		results: obj.Type().(*types.Signature).Results(),
+	})
+}
+
+// edge records a reference to a function from live hot code.
+func (w *walker) edge(id *ast.Ident) {
+	if obj, ok := w.pass.TypesInfo.Uses[id].(*types.Func); ok && obj.Pkg() == w.pass.Pkg {
+		w.markHot(obj)
+	}
+}
+
+// recvTypeName returns the receiver's base type name, or "".
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// scanner walks one hot unit reporting allocation findings. Statements
+// under a constant-false condition are skipped, and every finding honors
+// a same-line or line-above //geolint:coldpath directive.
+type scanner struct {
+	pass    *analysis.Pass
+	w       *walker
+	unit    unit
+	unsized map[types.Object]bool
+	// results tracks the enclosing function-literal result stack so
+	// return statements check against the right signature.
+	results []*types.Tuple
+	// concats marks string-concatenation operands already covered by an
+	// enclosing reported concatenation, so a+b+c reports once.
+	concats map[ast.Expr]bool
+}
+
+func (s *scanner) reportf(pos token.Pos, format string, args ...any) {
+	if !s.pass.Suppressed(pos, "coldpath") {
+		s.pass.Reportf(pos, format, args...)
+	}
+}
+
+// collectUnsized records locals declared without a capacity — `var s
+// []T`, `s := []T{}` or a make without a cap argument — whose appends
+// therefore allocate as they grow. Appends to fields, parameters and
+// reslice aliases of arena state are deliberately not flagged.
+func (s *scanner) collectUnsized(body ast.Node) {
+	s.unsized = make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := s.pass.TypesInfo.Defs[name]; obj != nil && isSlice(obj.Type()) {
+						s.unsized[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := s.pass.TypesInfo.Defs[id]
+				if obj == nil || !isSlice(obj.Type()) {
+					continue
+				}
+				switch rhs := n.Rhs[i].(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						s.unsized[obj] = true
+					}
+				case *ast.CallExpr:
+					if isBuiltin(s.pass, rhs, "make") && len(rhs.Args) < 3 {
+						s.unsized[obj] = true
+					}
+				case *ast.Ident:
+					if rhs.Name == "nil" {
+						s.unsized[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isConstZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// stmt walks one statement at the given loop depth.
+func (s *scanner) stmt(n ast.Stmt, loops int) {
+	switch n := n.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range n.List {
+			s.stmt(st, loops)
+		}
+	case *ast.IfStmt:
+		s.stmt(n.Init, loops)
+		// A condition the compiler proves false is dead code — the
+		// release-build shape of `if invariant.Enabled { ... }` — and a
+		// constant-true condition makes the else branch dead.
+		if v := s.constBool(n.Cond); v != nil {
+			if *v {
+				s.stmt(n.Body, loops)
+			} else {
+				s.stmt(n.Else, loops)
+			}
+			return
+		}
+		s.expr(n.Cond)
+		s.stmt(n.Body, loops)
+		s.stmt(n.Else, loops)
+	case *ast.ForStmt:
+		s.stmt(n.Init, loops)
+		s.expr(n.Cond)
+		s.stmt(n.Post, loops)
+		s.stmt(n.Body, loops+1)
+	case *ast.RangeStmt:
+		if t := s.typeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				s.reportf(n.Pos(), "range over a map in hot code: iteration order is random and per-iteration cost is high; iterate a slice instead")
+			}
+		}
+		s.expr(n.X)
+		s.stmt(n.Body, loops+1)
+	case *ast.DeferStmt:
+		if loops > 0 {
+			s.reportf(n.Pos(), "defer inside a loop allocates a defer record per iteration; hoist it out of the loop")
+		}
+		s.expr(n.Call)
+	case *ast.AssignStmt:
+		s.assign(n)
+	case *ast.ReturnStmt:
+		s.ret(n)
+	case *ast.ExprStmt:
+		s.expr(n.X)
+	case *ast.GoStmt:
+		s.expr(n.Call)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		s.stmt(n.Init, loops)
+		s.expr(n.Tag)
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				s.expr(e)
+			}
+			for _, st := range cc.Body {
+				s.stmt(st, loops)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(n.Init, loops)
+		s.stmt(n.Assign, loops)
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, st := range cc.Body {
+				s.stmt(st, loops)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CommClause)
+			s.stmt(cc.Comm, loops)
+			for _, st := range cc.Body {
+				s.stmt(st, loops)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(n.Stmt, loops)
+	case *ast.IncDecStmt:
+		s.expr(n.X)
+	case *ast.SendStmt:
+		s.expr(n.Chan)
+		s.expr(n.Value)
+	}
+}
+
+// constBool returns the condition's compile-time boolean value, or nil
+// when it is not a constant.
+func (s *scanner) constBool(cond ast.Expr) *bool {
+	tv, ok := s.pass.TypesInfo.Types[cond]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return nil
+	}
+	v := constant.BoolVal(tv.Value)
+	return &v
+}
+
+func (s *scanner) typeOf(e ast.Expr) types.Type {
+	if tv, ok := s.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (s *scanner) assign(n *ast.AssignStmt) {
+	for _, e := range n.Rhs {
+		s.expr(e)
+	}
+	for _, e := range n.Lhs {
+		s.expr(e)
+	}
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if t := s.typeOf(lhs); t != nil {
+			s.boxed(n.Rhs[i], t, "assignment")
+		}
+	}
+}
+
+func (s *scanner) valueSpec(vs *ast.ValueSpec) {
+	for _, v := range vs.Values {
+		s.expr(v)
+	}
+	if vs.Type == nil {
+		return
+	}
+	t := s.typeOf(vs.Type)
+	if t == nil {
+		return
+	}
+	for _, v := range vs.Values {
+		s.boxed(v, t, "assignment")
+	}
+}
+
+func (s *scanner) ret(n *ast.ReturnStmt) {
+	for _, e := range n.Results {
+		s.expr(e)
+	}
+	results := s.results[len(s.results)-1]
+	if results == nil || results.Len() != len(n.Results) {
+		return
+	}
+	for i, e := range n.Results {
+		s.boxed(e, results.At(i).Type(), "return")
+	}
+}
+
+// expr walks one expression.
+func (s *scanner) expr(n ast.Expr) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		s.funcLit(n)
+	case *ast.CallExpr:
+		s.call(n)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				s.reportf(n.Pos(), "&composite literal allocates on the heap when it escapes; reuse arena state")
+				for _, e := range ast.Unparen(n.X).(*ast.CompositeLit).Elts {
+					s.expr(e)
+				}
+				return
+			}
+		}
+		s.expr(n.X)
+	case *ast.CompositeLit:
+		s.compositeLit(n)
+	case *ast.BinaryExpr:
+		s.binary(n)
+	case *ast.ParenExpr:
+		s.expr(n.X)
+	case *ast.Ident:
+		s.w.edge(n)
+	case *ast.SelectorExpr:
+		s.w.edge(n.Sel)
+		s.expr(n.X)
+	case *ast.IndexExpr:
+		s.expr(n.X)
+		s.expr(n.Index)
+	case *ast.SliceExpr:
+		s.expr(n.X)
+		s.expr(n.Low)
+		s.expr(n.High)
+		s.expr(n.Max)
+	case *ast.StarExpr:
+		s.expr(n.X)
+	case *ast.TypeAssertExpr:
+		s.expr(n.X)
+	case *ast.KeyValueExpr:
+		s.expr(n.Value)
+	}
+}
+
+// funcLit reports a capturing literal encountered inside a hot unit
+// (creating the closure allocates per execution) and keeps scanning its
+// body as hot code, since hot-created closures run hot.
+func (s *scanner) funcLit(lit *ast.FuncLit) {
+	if s.w.rootLits[lit] {
+		return // scanned as its own unit; a root's own captures are setup cost
+	}
+	if caps := s.captures(lit); len(caps) > 0 {
+		s.reportf(lit.Pos(), "func literal captures %s: creating the closure allocates each time this code runs; hoist it or bind it once at setup", strings.Join(caps, ", "))
+	}
+	var results *types.Tuple
+	if sig, ok := s.pass.TypesInfo.Types[lit].Type.(*types.Signature); ok {
+		results = sig.Results()
+	}
+	s.results = append(s.results, results)
+	s.stmt(lit.Body, 0)
+	s.results = s.results[:len(s.results)-1]
+}
+
+// captures lists the function-local variables a literal references from
+// enclosing scopes. Field and method selectors resolve to field/method
+// objects and are filtered out; package-level variables are not closure
+// captures.
+func (s *scanner) captures(lit *ast.FuncLit) []string {
+	seen := make(map[types.Object]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := s.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == s.pass.Pkg.Scope() || (v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v.Name())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func (s *scanner) call(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		s.expr(a)
+	}
+	fun := ast.Unparen(call.Fun)
+	s.expr(fun)
+
+	// Explicit conversion to an interface type.
+	if tv, ok := s.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			s.boxed(call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+
+	// Builtins that allocate.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, builtin := s.pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				s.makeCall(call)
+			case "new":
+				s.reportf(call.Pos(), "new allocates on the heap when the value escapes; reuse arena state")
+			case "append":
+				s.appendCall(call)
+			case "panic":
+				if len(call.Args) == 1 {
+					s.boxed(call.Args[0], nil, "argument")
+				}
+			}
+			return
+		}
+	}
+
+	// fmt on the hot path allocates for formatting state and boxing.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if obj := s.pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			s.reportf(call.Pos(), "fmt call in hot code allocates; format errors and logs off the hot path")
+			return
+		}
+	}
+
+	// Implicit interface conversions at the call boundary.
+	tv, ok := s.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, a := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt) {
+			s.boxed(a, pt, "argument")
+		}
+	}
+}
+
+func (s *scanner) makeCall(call *ast.CallExpr) {
+	t := s.typeOf(call)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		s.reportf(call.Pos(), "make allocates a map in hot code; hoist it into setup/arena state")
+	case *types.Chan:
+		s.reportf(call.Pos(), "make allocates a channel in hot code; hoist it into setup/arena state")
+	case *types.Slice:
+		if len(call.Args) == 2 && isConstZero(s.pass, call.Args[1]) {
+			s.reportf(call.Pos(), "make without an explicit capacity allocates and may regrow in hot code; size it once at setup")
+		} else {
+			s.reportf(call.Pos(), "make allocates in hot code; hoist the buffer into setup/arena state")
+		}
+	}
+}
+
+func (s *scanner) appendCall(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := s.pass.TypesInfo.Uses[id]; obj != nil && s.unsized[obj] {
+		s.reportf(call.Pos(), "append to unsized local slice %s allocates as it grows; pre-size it or reuse arena state", id.Name)
+	}
+}
+
+func (s *scanner) compositeLit(lit *ast.CompositeLit) {
+	for _, e := range lit.Elts {
+		s.expr(e)
+	}
+	t := s.typeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		s.reportf(lit.Pos(), "slice literal allocates in hot code; hoist it into setup/arena state")
+	case *types.Map:
+		s.reportf(lit.Pos(), "map literal allocates in hot code; hoist it into setup/arena state")
+	}
+}
+
+func (s *scanner) binary(n *ast.BinaryExpr) {
+	if n.Op == token.ADD && !s.concats[n] {
+		if t := s.typeOf(n); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				if tv := s.pass.TypesInfo.Types[n]; tv.Value == nil { // non-constant concatenation
+					s.reportf(n.Pos(), "string concatenation allocates in hot code; build strings off the hot path")
+					s.markConcatOperands(n)
+				}
+			}
+		}
+	}
+	s.expr(n.X)
+	s.expr(n.Y)
+}
+
+// markConcatOperands suppresses nested reports so a+b+c reports once.
+func (s *scanner) markConcatOperands(n *ast.BinaryExpr) {
+	if s.concats == nil {
+		s.concats = make(map[ast.Expr]bool)
+	}
+	for _, e := range []ast.Expr{n.X, n.Y} {
+		if sub, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && sub.Op == token.ADD {
+			s.concats[sub] = true
+			s.markConcatOperands(sub)
+		}
+	}
+}
+
+// boxed reports an implicit interface conversion of a concrete value.
+// target nil means "some interface" (panic's parameter). Constants,
+// nils, interface-typed values and pointer-shaped values (pointers,
+// channels, maps, funcs, unsafe pointers — stored directly in the
+// interface word) do not allocate and are skipped.
+func (s *scanner) boxed(arg ast.Expr, target types.Type, where string) {
+	if target != nil && !types.IsInterface(target) {
+		return
+	}
+	tv, ok := s.pass.TypesInfo.Types[arg]
+	if !ok || tv.Value != nil {
+		return
+	}
+	at := tv.Type
+	if at == nil {
+		return
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if types.IsInterface(at) || pointerShaped(at) {
+		return
+	}
+	name := "interface"
+	if target != nil {
+		name = types.TypeString(target, func(p *types.Package) string { return p.Name() })
+	}
+	s.reportf(arg.Pos(), "%s boxes %s into %s and allocates in hot code; keep hot values concrete",
+		where, types.TypeString(at, func(p *types.Package) string { return p.Name() }), name)
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

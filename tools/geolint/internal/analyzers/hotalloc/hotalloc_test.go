@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/geosel")
+}

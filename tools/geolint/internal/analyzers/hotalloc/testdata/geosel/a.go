@@ -1,0 +1,160 @@
+// Package geosel seeds allocation violations in hot-path code for the
+// hotalloc analyzer, alongside compliant and suppressed sites.
+package geosel
+
+import "fmt"
+
+// debug mirrors the release-build shape of invariant.Enabled: branches
+// under a constant-false condition are dead code and must not report.
+const debug = false
+
+type state struct {
+	buf   []float64
+	items map[int]float64
+}
+
+//geolint:hotpath
+func hotLoop(st *state, xs []float64) float64 {
+	acc := 0.0
+	for i := range xs {
+		f := func() float64 { return xs[i] + acc } // want `func literal captures acc, i, xs`
+		acc += f()
+	}
+	helper(st) // pulls helper into the hot set
+	return acc
+}
+
+// helper is hot by reachability from hotLoop, not by annotation.
+func helper(st *state) {
+	tmp := make([]float64, 0) // want `make without an explicit capacity`
+	tmp = append(tmp, 1)      // want `append to unsized local slice tmp`
+	st.buf = tmp
+	st.items = map[int]float64{1: 2} // want `map literal allocates`
+	for k, v := range st.items {     // want `range over a map`
+		st.buf[0] += float64(k) * v
+	}
+}
+
+func sink(v any) { _ = v }
+
+//geolint:hotpath
+func hotBox(x int) any {
+	sink(x)  // want `argument boxes int into any`
+	return x // want `return boxes int into any`
+}
+
+func cleanup() {}
+
+//geolint:hotpath
+func hotDefer(n int) {
+	for i := 0; i < n; i++ {
+		defer cleanup() // want `defer inside a loop`
+	}
+}
+
+//geolint:hotpath
+func hotFmt(name string, id int) string {
+	s := fmt.Sprintf("%s-%d", name, id) // want `fmt call in hot code allocates`
+	return s + name                     // want `string concatenation allocates`
+}
+
+//geolint:hotpath
+func hotAlloc(n int) float64 {
+	p := &state{buf: make([]float64, n)} // want `&composite literal allocates` `make allocates in hot code`
+	q := new(state)                      // want `new allocates`
+	ch := make(chan int)                 // want `make allocates a channel`
+	close(ch)
+	return p.buf[0] + float64(len(q.buf))
+}
+
+// pair is hot at type level: every method is a root.
+//
+//geolint:hotpath
+type pair struct{ xs, ys []float64 }
+
+// at is clean and must stay silent.
+func (p *pair) at(i int) float64 { return p.xs[i] * p.ys[i] }
+
+func (p *pair) grow(ids map[int]bool) {
+	p.xs = append(p.xs, 0)  // silent: field append, arena-owned
+	m := make(map[int]bool) // want `make allocates a map`
+	for id := range ids {   // want `range over a map`
+		m[id] = true
+	}
+}
+
+// setup builds the pair off the hot path; coldpath on the declaration
+// excludes it and stops propagation into allocate.
+//
+//geolint:coldpath
+func (p *pair) setup(n int) {
+	p.xs = allocate(n)
+	p.ys = allocate(n)
+}
+
+// allocate is only referenced from coldpath code and must stay silent.
+func allocate(n int) []float64 {
+	out := []float64{}
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+//geolint:hotpath
+func hotChecked(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	if debug {
+		// Dead in release builds: skipped like the compiler would.
+		fmt.Println("total", t)
+		audit(t)
+	}
+	return t
+}
+
+// audit is referenced only from dead code and must stay silent.
+func audit(v float64) {
+	s := fmt.Sprint(v)
+	_ = s + s
+}
+
+// hotSnapshot acknowledges a deliberate diagnostics-only allocation.
+//
+//geolint:hotpath
+func hotSnapshot(n int) []int {
+	out := make([]int, 0, n) //geolint:coldpath
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// hotGrow acknowledges a grow-once arena fallback on the line above.
+//
+//geolint:hotpath
+func hotGrow(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		//geolint:coldpath
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// kernel returns a hot closure: the literal itself is a root, its own
+// captures are setup cost, but its body is scanned.
+func kernel(xs []float64, items map[int]float64) func(int) float64 {
+	return func(i int) float64 { //geolint:hotpath
+		v := xs[i]
+		for _, w := range items { // want `range over a map`
+			v += w
+		}
+		return v
+	}
+}

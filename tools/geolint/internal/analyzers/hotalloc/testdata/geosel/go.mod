@@ -1,0 +1,3 @@
+module example.com/geosel
+
+go 1.22

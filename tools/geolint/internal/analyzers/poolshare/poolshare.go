@@ -1,0 +1,316 @@
+// Package poolshare audits the aliasing discipline at the worker-pool
+// dispatch boundary. Task closures handed to (*parallel.Pool).Run run
+// concurrently on every worker, so the analyzer flags the three sharing
+// mistakes the pool's contract forbids:
+//
+//   - capturing a loop variable: the task may observe a later iteration's
+//     value (or, pre-Go 1.22 semantics, the final one);
+//   - writing captured state that is not partitioned by the task index:
+//     plain captured variables, captured maps (never concurrency-safe),
+//     captured slice elements whose index does not derive from a
+//     task-local value, and fields of captured values;
+//   - loading live-store snapshot state from inside a task body: each
+//     Snapshot()/Current() call re-reads the atomic pointer, so two
+//     tasks of one dispatch can observe different epochs. Pin the
+//     snapshot once before dispatching.
+//
+// A "//geolint:owner" directive on the offending line (or the line
+// above) acknowledges a site whose safety argument lives in a comment,
+// e.g. disjoint writes keyed by a deduplicated per-task value.
+package poolshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"geosel/tools/geolint/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolshare",
+	Doc: "flags pool-task closures that capture loop variables, write " +
+		"shared non-task-partitioned state, or re-read livestore " +
+		"snapshots; //geolint:owner acknowledges a site",
+	PkgFilter: func(pkgPath string) bool {
+		// The pool package itself and commands are out of scope; every
+		// library package that can dispatch onto the pool is in.
+		return !strings.HasSuffix(pkgPath, "internal/parallel") && !strings.Contains(pkgPath, "cmd/")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			v := &visitor{pass: pass}
+			v.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+// visitor tracks the loop variables in scope while descending to each
+// pool dispatch site.
+type visitor struct {
+	pass     *analysis.Pass
+	loopVars map[types.Object]bool
+}
+
+func (v *visitor) walk(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		added := v.pushLoopVars(forInitVars(v.pass, n))
+		v.walkStmts(n.Body)
+		v.popLoopVars(added)
+		return
+	case *ast.RangeStmt:
+		added := v.pushLoopVars(rangeVars(v.pass, n))
+		v.walkStmts(n.Body)
+		v.popLoopVars(added)
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			v.walk(c)
+			return false
+		case *ast.CallExpr:
+			v.dispatch(c)
+		}
+		return true
+	})
+}
+
+func (v *visitor) walkStmts(body *ast.BlockStmt) {
+	for _, st := range body.List {
+		v.walk(st)
+	}
+}
+
+func (v *visitor) pushLoopVars(objs []types.Object) []types.Object {
+	if v.loopVars == nil {
+		v.loopVars = make(map[types.Object]bool)
+	}
+	var added []types.Object
+	for _, o := range objs {
+		if o != nil && !v.loopVars[o] {
+			v.loopVars[o] = true
+			added = append(added, o)
+		}
+	}
+	return added
+}
+
+func (v *visitor) popLoopVars(added []types.Object) {
+	for _, o := range added {
+		delete(v.loopVars, o)
+	}
+}
+
+func forInitVars(pass *analysis.Pass, n *ast.ForStmt) []types.Object {
+	assign, ok := n.Init.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.DEFINE {
+		return nil
+	}
+	var out []types.Object
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out = append(out, pass.TypesInfo.Defs[id])
+		}
+	}
+	return out
+}
+
+func rangeVars(pass *analysis.Pass, n *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{n.Key, n.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			out = append(out, pass.TypesInfo.Defs[id])
+		}
+	}
+	return out
+}
+
+// dispatch checks one call expression: when it is (*parallel.Pool).Run,
+// each function-literal argument is audited as a task body.
+func (v *visitor) dispatch(call *ast.CallExpr) {
+	if !isPoolRun(v.pass, call) {
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			v.checkTask(lit)
+		}
+	}
+}
+
+// isPoolRun reports whether the call resolves to the Run method of the
+// repository's worker pool (matched by package-path suffix so testdata
+// modules exercise the same shape).
+func isPoolRun(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Run" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/parallel")
+}
+
+// checkTask audits one task body.
+func (v *visitor) checkTask(lit *ast.FuncLit) {
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := v.pass.TypesInfo.Uses[n]
+			if obj != nil && v.loopVars[obj] && !reported[obj] && !v.pass.Suppressed(n.Pos(), "owner") {
+				reported[obj] = true
+				v.pass.Reportf(n.Pos(), "pool task captures loop variable %s: tasks run concurrently and may observe another iteration's value; pass it through the task index instead", obj.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				v.checkWrite(lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			v.checkWrite(lit, n.X)
+		case *ast.CallExpr:
+			v.checkSnapshot(n)
+		}
+		return true
+	})
+}
+
+// checkWrite flags writes from a task body to state captured from the
+// enclosing function unless the write is partitioned by a task-local
+// index.
+func (v *visitor) checkWrite(lit *ast.FuncLit, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := v.capturedVar(lit, lhs); obj != nil && !v.pass.Suppressed(lhs.Pos(), "owner") {
+			v.pass.Reportf(lhs.Pos(), "pool task writes captured variable %s: concurrent tasks race on it; accumulate into per-task state and reduce after Run", obj.Name())
+		}
+	case *ast.IndexExpr:
+		base := rootIdent(lhs.X)
+		if base == nil {
+			return
+		}
+		obj := v.capturedVar(lit, base)
+		if obj == nil || v.pass.Suppressed(lhs.Pos(), "owner") {
+			return
+		}
+		if t := typeOf(v.pass, lhs.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				v.pass.Reportf(lhs.Pos(), "pool task writes captured map %s: Go maps are never safe for concurrent writes, even to distinct keys; write per-task results to a slice indexed by the task index", base.Name)
+				return
+			}
+		}
+		if !v.mentionsTaskLocal(lit, lhs.Index) {
+			v.pass.Reportf(lhs.Pos(), "pool task writes captured slice %s at an index not derived from the task: concurrent tasks may write the same element; index by a task-local value", base.Name)
+		}
+	case *ast.SelectorExpr:
+		base := rootIdent(lhs.X)
+		if base == nil {
+			return
+		}
+		if obj := v.capturedVar(lit, base); obj != nil && !v.pass.Suppressed(lhs.Pos(), "owner") {
+			v.pass.Reportf(lhs.Pos(), "pool task writes field %s of captured %s: concurrent tasks race on it; keep shared structs read-only inside tasks", lhs.Sel.Name, base.Name)
+		}
+	case *ast.StarExpr:
+		base := rootIdent(lhs.X)
+		if base == nil {
+			return
+		}
+		if obj := v.capturedVar(lit, base); obj != nil && !v.pass.Suppressed(lhs.Pos(), "owner") {
+			v.pass.Reportf(lhs.Pos(), "pool task writes through captured pointer %s: concurrent tasks race on the pointee", base.Name)
+		}
+	}
+}
+
+// checkSnapshot flags snapshot loads from inside a task: Snapshot() and
+// Current() re-read the epoch's atomic pointer, so two tasks of the same
+// dispatch can observe different store versions.
+func (v *visitor) checkSnapshot(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Snapshot" && sel.Sel.Name != "Current") {
+		return
+	}
+	obj, ok := v.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if !strings.HasSuffix(path, "internal/livestore") && !strings.HasSuffix(path, "internal/geodata") {
+		return
+	}
+	if v.pass.Suppressed(call.Pos(), "owner") {
+		return
+	}
+	v.pass.Reportf(call.Pos(), "pool task calls %s.%s: each call re-reads the atomic snapshot pointer, so concurrent tasks can observe different epochs; pin the snapshot once before dispatching", obj.Pkg().Name(), sel.Sel.Name)
+}
+
+// capturedVar resolves an identifier to a function-local variable
+// declared outside the task literal, i.e. captured state. Package-level
+// variables count too: they are shared by definition.
+func (v *visitor) capturedVar(lit *ast.FuncLit, id *ast.Ident) *types.Var {
+	obj, ok := v.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return nil
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+		return nil // task-local: a parameter or local of the literal
+	}
+	return obj
+}
+
+// mentionsTaskLocal reports whether the expression references any
+// variable declared inside the task literal — the heuristic for "this
+// index derives from the task index".
+func (v *visitor) mentionsTaskLocal(lit *ast.FuncLit, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := v.pass.TypesInfo.Uses[id].(*types.Var); ok && !obj.IsField() &&
+				obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent unwraps selectors, indexes, stars and parens to the base
+// identifier of an lvalue expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package poolshare_test
+
+import (
+	"testing"
+
+	"geosel/tools/geolint/internal/analysis/analysistest"
+	"geosel/tools/geolint/internal/analyzers/poolshare"
+)
+
+func TestPoolShare(t *testing.T) {
+	analysistest.Run(t, poolshare.Analyzer, "testdata/geosel")
+}

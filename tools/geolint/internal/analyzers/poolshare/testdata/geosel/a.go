@@ -1,0 +1,129 @@
+// Package geosel seeds pool-task aliasing violations for the poolshare
+// analyzer, alongside compliant and acknowledged sites.
+package geosel
+
+import (
+	"context"
+
+	"example.com/geosel/internal/livestore"
+	"example.com/geosel/internal/parallel"
+)
+
+// LoopCapture dispatches a task per weight that closes over the loop
+// variable.
+func LoopCapture(ctx context.Context, out []float64, weights []float64) {
+	pool := parallel.New(0)
+	defer pool.Close()
+	for _, w := range weights {
+		_ = pool.Run(ctx, len(out), func(i int) {
+			out[i] = w // want `pool task captures loop variable w`
+		})
+	}
+}
+
+// SharedScalar accumulates into one captured variable from every task.
+func SharedScalar(ctx context.Context, xs []float64) float64 {
+	pool := parallel.New(0)
+	defer pool.Close()
+	sum := 0.0
+	_ = pool.Run(ctx, len(xs), func(i int) {
+		sum += xs[i] // want `pool task writes captured variable sum`
+	})
+	return sum
+}
+
+// SharedAppend grows one captured slice from every task.
+func SharedAppend(ctx context.Context, n int) []int {
+	pool := parallel.New(0)
+	defer pool.Close()
+	var acc []int
+	_ = pool.Run(ctx, n, func(i int) {
+		acc = append(acc, i) // want `pool task writes captured variable acc`
+	})
+	return acc
+}
+
+// SharedMap writes a captured map; distinct keys do not make this safe.
+func SharedMap(ctx context.Context, keys []int) map[int]bool {
+	pool := parallel.New(0)
+	defer pool.Close()
+	seen := make(map[int]bool, len(keys))
+	_ = pool.Run(ctx, len(keys), func(i int) {
+		seen[keys[i]] = true // want `pool task writes captured map seen`
+	})
+	return seen
+}
+
+// FixedElement writes one captured slice element from every task.
+func FixedElement(ctx context.Context, out []float64, xs []float64) {
+	pool := parallel.New(0)
+	defer pool.Close()
+	_ = pool.Run(ctx, len(xs), func(i int) {
+		out[0] += xs[i] // want `pool task writes captured slice out at an index not derived from the task`
+	})
+}
+
+// SharedField mutates a field of a captured struct from every task.
+type counter struct{ n int }
+
+// FieldWrite mutates captured struct state.
+func FieldWrite(ctx context.Context, tasks int) int {
+	pool := parallel.New(0)
+	defer pool.Close()
+	var c counter
+	_ = pool.Run(ctx, tasks, func(i int) {
+		c.n = i // want `pool task writes field n of captured c`
+	})
+	return c.n
+}
+
+// SnapshotInTask re-reads the store's atomic pointer from inside tasks.
+func SnapshotInTask(ctx context.Context, store *livestore.Store, out []int) {
+	pool := parallel.New(0)
+	defer pool.Close()
+	_ = pool.Run(ctx, len(out), func(i int) {
+		v, _ := store.Snapshot() // want `pool task calls livestore.Snapshot`
+		out[i] = v.Len()
+	})
+}
+
+// CurrentInTask re-reads the current epoch from inside tasks.
+func CurrentInTask(ctx context.Context, store *livestore.Store, out []int) {
+	pool := parallel.New(0)
+	defer pool.Close()
+	_ = pool.Run(ctx, len(out), func(i int) {
+		out[i] = store.Current().Len() // want `pool task calls livestore.Current`
+	})
+}
+
+// PerIndex is the compliant shape: writes partitioned by the task index
+// and the snapshot pinned before dispatch.
+func PerIndex(ctx context.Context, store *livestore.Store, xs []float64) []float64 {
+	pool := parallel.New(0)
+	defer pool.Close()
+	snap := store.Current()
+	out := make([]float64, len(xs))
+	_ = pool.Run(ctx, len(xs), func(i int) {
+		j := i * 2 % len(out)
+		out[i] = xs[i] * float64(snap.Len()) // reads of pinned captures are fine
+		out[j] = out[i]                      // index derives from the task index
+	})
+	return out
+}
+
+// OwnedWrites acknowledges deliberate sharing: the arena write is
+// provably disjoint (deduplicated keys) and the epoch re-read is part
+// of a stats probe that tolerates skew.
+func OwnedWrites(ctx context.Context, store *livestore.Store, cells [][]int, keys []int) {
+	pool := parallel.New(0)
+	defer pool.Close()
+	stats := 0
+	_ = pool.Run(ctx, len(keys), func(i int) {
+		// Deduplicated cell keys: writes are disjoint.
+		cells[keys[0]] = nil //geolint:owner
+		// Stats probe tolerates epoch skew.
+		//geolint:owner
+		stats = store.Current().Len()
+	})
+	_ = stats
+}

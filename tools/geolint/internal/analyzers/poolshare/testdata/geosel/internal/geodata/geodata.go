@@ -1,0 +1,11 @@
+// Package geodata mimics the repository's data layer: a View and a
+// Source whose Snapshot loads the current epoch.
+package geodata
+
+// View is a read-only epoch of the dataset.
+type View interface{ Len() int }
+
+// Source publishes immutable views.
+type Source interface {
+	Snapshot() (View, uint64)
+}

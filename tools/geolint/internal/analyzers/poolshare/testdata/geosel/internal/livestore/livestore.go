@@ -1,0 +1,20 @@
+// Package livestore mimics the repository's live store: Snapshot and
+// Current re-read an atomic pointer on every call.
+package livestore
+
+import "example.com/geosel/internal/geodata"
+
+// Snapshot is one immutable epoch.
+type Snapshot struct{ n int }
+
+// Len implements geodata.View.
+func (s *Snapshot) Len() int { return s.n }
+
+// Store is a stand-in mutable store.
+type Store struct{ cur *Snapshot }
+
+// Snapshot loads the current epoch as a view.
+func (s *Store) Snapshot() (geodata.View, uint64) { return s.cur, 0 }
+
+// Current loads the current epoch.
+func (s *Store) Current() *Snapshot { return s.cur }

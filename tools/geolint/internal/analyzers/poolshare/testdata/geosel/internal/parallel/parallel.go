@@ -1,0 +1,23 @@
+// Package parallel mimics the repository's worker pool: same package
+// path suffix and Run surface, so poolshare sees the shapes it targets
+// in production.
+package parallel
+
+import "context"
+
+// Pool is a stand-in worker pool.
+type Pool struct{}
+
+// New constructs a pool.
+func New(workers int) *Pool { return &Pool{} }
+
+// Run dispatches n indices under ctx.
+func (p *Pool) Run(ctx context.Context, n int, fn func(int)) error {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	return nil
+}
+
+// Close releases the pool.
+func (p *Pool) Close() {}

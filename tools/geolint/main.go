@@ -21,6 +21,14 @@
 //	nopanic     panic in library packages
 //	snapfreeze  mutation of snapshot-owned collections or slices
 //	            obtained from a geodata.View outside the owning packages
+//	hotalloc    allocation-inducing constructs reachable from
+//	            //geolint:hotpath roots (//geolint:coldpath opts out)
+//	poolshare   pool-task closures capturing loop variables, writing
+//	            shared non-task-partitioned state, or re-reading
+//	            livestore snapshots (//geolint:owner acknowledges)
+//
+// Standalone mode accepts -analyzers=a,b to run a subset; the package
+// graph is loaded once and shared across the selected analyzers.
 package main
 
 import (
@@ -32,8 +40,10 @@ import (
 	"geosel/tools/geolint/internal/analyzers/ctxflow"
 	"geosel/tools/geolint/internal/analyzers/errlite"
 	"geosel/tools/geolint/internal/analyzers/floatorder"
+	"geosel/tools/geolint/internal/analyzers/hotalloc"
 	"geosel/tools/geolint/internal/analyzers/knobplumb"
 	"geosel/tools/geolint/internal/analyzers/nopanic"
+	"geosel/tools/geolint/internal/analyzers/poolshare"
 	"geosel/tools/geolint/internal/analyzers/snapfreeze"
 )
 
@@ -45,6 +55,8 @@ var All = []*analysis.Analyzer{
 	errlite.Analyzer,
 	nopanic.Analyzer,
 	snapfreeze.Analyzer,
+	hotalloc.Analyzer,
+	poolshare.Analyzer,
 }
 
 func main() {
@@ -67,7 +79,19 @@ func main() {
 		return
 	}
 
-	patterns := args
+	suite := All
+	var patterns []string
+	for _, arg := range args {
+		if names, ok := strings.CutPrefix(arg, "-analyzers="); ok {
+			var err error
+			if suite, err = selectAnalyzers(names); err != nil {
+				fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		patterns = append(patterns, arg)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -76,7 +100,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
 		os.Exit(1)
 	}
-	diags, err := analysis.Run(All, pkgs)
+	diags, err := analysis.Run(suite, pkgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "geolint: %v\n", err)
 		os.Exit(1)
@@ -88,6 +112,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "geolint: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves a comma-separated -analyzers list against
+// the suite.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-analyzers selected nothing")
+	}
+	return out, nil
 }
 
 // relativize shortens absolute file paths to the working directory for
