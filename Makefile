@@ -3,7 +3,7 @@
 
 GEOLINT := $(CURDIR)/bin/geolint
 
-.PHONY: all build test check race churn lint hotlint escapecheck escapebaseline fuzz bench bench-smoke clean
+.PHONY: all build test check race churn tilecache lint hotlint escapecheck escapebaseline fuzz bench bench-smoke clean
 
 all: build lint test
 
@@ -25,8 +25,18 @@ race:
 # the live store ingests — under the race detector with the runtime
 # invariants compiled in, then smoke-tests the ingest benchmark.
 churn:
-	go test -race -tags geoselcheck -run Churn -count=1 ./internal/livestore ./internal/isos
+	go test -race -tags geoselcheck -run Churn -count=1 ./internal/livestore ./internal/isos ./internal/tilecache
 	go run ./cmd/benchrunner -suite ingest-churn -quick -out /tmp/BENCH_ingest_smoke.json
+
+# tilecache runs the tile-grain cache suite — stitched-serving property
+# tests with the runtime invariants on, the invalidation churn test
+# under the race detector, then the cold-vs-warm benchmark in its
+# shrunk CI shape. The full benchmark is
+# `go run ./cmd/benchrunner -suite tilecache` (writes BENCH_tilecache.json).
+tilecache:
+	go test -tags geoselcheck ./internal/tilecache
+	go test -race -run Churn -count=1 ./internal/tilecache
+	go run ./cmd/benchrunner -suite tilecache -quick -out /tmp/BENCH_tilecache_smoke.json
 
 # lint runs the project's own analyzers (tools/geolint) through the
 # go vet driver, plus the stock vet checks.

@@ -11,6 +11,7 @@
 //	benchrunner -suite prefetch-overlap
 //	benchrunner -suite ingest-churn [-quick]
 //	benchrunner -suite hotloop [-quick] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	benchrunner -suite tilecache [-quick]
 package main
 
 import (
@@ -28,7 +29,7 @@ func main() {
 	var (
 		exp     = flag.String("exp", "", "exhibit id (table3, table4, fig7..fig14, fig18..fig23) or 'all'")
 		list    = flag.Bool("list", false, "list exhibit ids and exit")
-		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense, prefetch-overlap, ingest-churn or hotloop (writes BENCH_*.json)")
+		suite   = flag.String("suite", "", "structured perf suite: pruned-vs-dense, prefetch-overlap, ingest-churn, hotloop or tilecache (writes BENCH_*.json)")
 		out     = flag.String("out", "", "output path for -suite (default BENCH_<suite>.json)")
 		quick   = flag.Bool("quick", false, "shrink -suite workloads for CI smoke runs (ingest-churn and hotloop)")
 		ukSize  = flag.Int("uk", 0, "UK-like dataset size (0 = default)")
@@ -92,6 +93,10 @@ func main() {
 			q := *quick
 			runner = func(path string, seed int64) error { return runHotloopSuite(path, seed, q) }
 			dflt = "BENCH_hotloop.json"
+		case "tilecache":
+			q := *quick
+			runner = func(path string, seed int64) error { return runTilecacheSuite(path, seed, q) }
+			dflt = "BENCH_tilecache.json"
 		default:
 			fmt.Fprintf(os.Stderr, "benchrunner: unknown suite %q\n", *suite)
 			os.Exit(2)

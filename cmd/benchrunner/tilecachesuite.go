@@ -1,0 +1,288 @@
+package main
+
+// The tilecache suite: what materializing selections at tile grain
+// buys on the serving path. Written as BENCH_tilecache.json. Three
+// measurements over one scripted viewport trace:
+//
+//   - cold pass: every viewport served through an empty cache, paying
+//     the per-tile greedy computes;
+//   - warm pass: the identical trace replayed against the now-filled
+//     cache — pure stitch-and-repair serving. The acceptance bar is a
+//     p99 at least 5x below the cold pass;
+//   - churn pass: the warmed trace replayed with mutation epochs
+//     paced against it (one batch into a hot cell every few
+//     viewports), measuring what invalidation-driven recomputes and
+//     seam repair cost under live ingestion.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"geosel/internal/dataset"
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/livestore"
+	"geosel/internal/sim"
+	"geosel/internal/tilecache"
+)
+
+// tileLatencyRow is the latency profile of one serving pass.
+type tileLatencyRow struct {
+	Mode    string `json:"mode"`
+	Steps   int    `json:"steps"`
+	P50Ns   int64  `json:"p50_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+	MaxNs   int64  `json:"max_ns"`
+	TotalNs int64  `json:"total_ns"`
+	// WarmServes/Fallbacks split the pass's serves by path.
+	WarmServes uint64 `json:"warm_serves"`
+	Fallbacks  uint64 `json:"fallbacks"`
+}
+
+// tileChurnRow extends the latency profile with the invalidation and
+// repair bookkeeping of the churned pass.
+type tileChurnRow struct {
+	tileLatencyRow
+	Epochs            uint64  `json:"epochs_during_trace"`
+	Invalidations     uint64  `json:"invalidations"`
+	TileMisses        uint64  `json:"tile_misses"`
+	RepairDropped     uint64  `json:"repair_dropped"`
+	AvgRepairNs       int64   `json:"avg_repair_ns"`
+	AvgColdComputeNs  int64   `json:"avg_cold_compute_ns"`
+	DroppedPerServe   float64 `json:"repair_dropped_per_warm_serve"`
+	FallbackFrac      float64 `json:"fallback_frac"`
+	InvalidationsFrac float64 `json:"invalidations_per_epoch"`
+}
+
+// tilecacheReport is the BENCH_tilecache.json schema.
+type tilecacheReport struct {
+	Env       benchEnv `json:"env"`
+	N         int      `json:"n"`
+	K         int      `json:"k"`
+	ThetaFrac float64  `json:"theta_frac"`
+	Viewports int      `json:"viewports"`
+	Capacity  int      `json:"cache_capacity"`
+
+	Cold tileLatencyRow `json:"cold"`
+	Warm tileLatencyRow `json:"warm"`
+	// Speedups are cold/warm; the acceptance bar is SpeedupP99 >= 5.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	SpeedupP99 float64 `json:"speedup_p99"`
+	// HitRatio is tile hits over all tile lookups across both passes.
+	HitRatio float64 `json:"hit_ratio"`
+
+	Churn tileChurnRow `json:"churn"`
+	Note  string       `json:"note"`
+}
+
+// tilecacheTrace builds the scripted viewport walk: a deterministic
+// mix of viewport sizes and positions with enough revisiting that a
+// warm pass is meaningful and enough spread that the cache actually
+// works for its tiles.
+func tilecacheTrace(n int, seed int64) []geo.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geo.Rect, 0, n)
+	for len(out) < n {
+		side := 0.06 + 0.18*rng.Float64()
+		min := geo.Pt(rng.Float64()*(1-side), rng.Float64()*(1-side))
+		r := geo.Rect{Min: min, Max: geo.Pt(min.X+side, min.Y+side)}
+		out = append(out, r)
+		// Revisit with a small pan half the time — the interactive
+		// pattern tile caching exists for.
+		if len(out) < n && rng.Intn(2) == 0 {
+			d := side * 0.25
+			out = append(out, geo.Rect{
+				Min: geo.Pt(min.X+d, min.Y),
+				Max: geo.Pt(min.X+side+d, min.Y+side),
+			})
+		}
+	}
+	return out
+}
+
+func runTilecacheSuite(out string, seed int64, quick bool) error {
+	n, viewports := 50000, 240
+	churnEpochs := 120
+	if quick {
+		n, viewports, churnEpochs = 8000, 60, 30
+	}
+	const k = 25
+	const thetaFrac = 0.003
+
+	col, err := dataset.Generate(dataset.POISpec(n, seed))
+	if err != nil {
+		return err
+	}
+	store, err := geodata.NewStore(col)
+	if err != nil {
+		return err
+	}
+	cfg := engine.Config{Metric: sim.Cosine{}, TileCache: true}
+	cache, err := tilecache.New(cfg)
+	if err != nil {
+		return err
+	}
+	trace := tilecacheTrace(viewports, seed+1)
+	ctx := context.Background()
+
+	report := tilecacheReport{
+		Env: captureEnv(), N: n, K: k, ThetaFrac: thetaFrac,
+		Viewports: viewports, Capacity: cache.Stats().Capacity,
+		Note: "scripted viewport trace served through the tile cache: cold fill vs warm stitched replay " +
+			"(acceptance: p99 speedup >= 5) plus the same trace under paced live churn " +
+			"(invalidation recomputes and seam-repair cost)",
+	}
+
+	// runPass replays the trace through c, timing each serve. between
+	// (optional) runs before viewport i — the churn pass uses it to
+	// commit mutation epochs paced against the trace itself, so the
+	// invalidation recomputes land inside the measured serves instead
+	// of racing them on the wall clock.
+	runPass := func(c *tilecache.Cache, view geodata.View, versionOf func() (geodata.View, uint64), mode string, between func(i int) error) (tileLatencyRow, error) {
+		row := tileLatencyRow{Mode: mode}
+		before := c.Stats()
+		lat := make([]int64, 0, len(trace))
+		dst := make([]int, 0, k)
+		for i, region := range trace {
+			if between != nil {
+				if err := between(i); err != nil {
+					return row, err
+				}
+			}
+			v, version := view, uint64(0)
+			if versionOf != nil {
+				v, version = versionOf()
+			}
+			theta := thetaFrac * region.Width()
+			start := time.Now()
+			res, err := c.Select(ctx, v, version, region, k, theta, dst[:0])
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				return row, fmt.Errorf("%s viewport %v: %w", mode, region, err)
+			}
+			dst = res.Positions
+			lat = append(lat, ns)
+			row.TotalNs += ns
+		}
+		after := c.Stats()
+		row.WarmServes = after.WarmServes - before.WarmServes
+		row.Fallbacks = after.Fallbacks - before.Fallbacks
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		row.Steps = len(lat)
+		row.P50Ns = lat[len(lat)/2]
+		row.P99Ns = lat[(len(lat)*99)/100]
+		row.MaxNs = lat[len(lat)-1]
+		return row, nil
+	}
+
+	view, _ := store.Snapshot()
+	if report.Cold, err = runPass(cache, view, nil, "cold", nil); err != nil {
+		return err
+	}
+	if report.Warm, err = runPass(cache, view, nil, "warm", nil); err != nil {
+		return err
+	}
+	report.SpeedupP50 = float64(report.Cold.P50Ns) / float64(report.Warm.P50Ns)
+	report.SpeedupP99 = float64(report.Cold.P99Ns) / float64(report.Warm.P99Ns)
+	st := cache.Stats()
+	if lookups := st.TileHits + st.TileMisses; lookups > 0 {
+		report.HitRatio = float64(st.TileHits) / float64(lookups)
+	}
+	fmt.Fprintf(os.Stderr, "[cold p50 %v p99 %v; warm p50 %v p99 %v; speedup p99 %.1fx; hit ratio %.3f]\n",
+		time.Duration(report.Cold.P50Ns).Round(time.Microsecond),
+		time.Duration(report.Cold.P99Ns).Round(time.Microsecond),
+		time.Duration(report.Warm.P50Ns).Round(time.Microsecond),
+		time.Duration(report.Warm.P99Ns).Round(time.Microsecond),
+		report.SpeedupP99, report.HitRatio)
+
+	// Churn pass: fresh cache over a live store. The trace runs once
+	// churn-free to fill the cache, then replays with mutation epochs
+	// committed into a hot cell every few viewports — each epoch
+	// dirties the hot tiles, and the revisits that follow pay the
+	// invalidation recompute plus seam repair inside the measured time.
+	ls, err := livestore.New(col, cfg)
+	if err != nil {
+		return err
+	}
+	churnCache, err := tilecache.New(cfg)
+	if err != nil {
+		return err
+	}
+	hot := geo.Rect{Min: geo.Pt(0.3, 0.3), Max: geo.Pt(0.45, 0.45)}
+	hview, _ := ls.Snapshot()
+	hotPos := hview.Region(hot)
+	if len(hotPos) == 0 {
+		return fmt.Errorf("tilecache suite: empty hot cell")
+	}
+	rng := rand.New(rand.NewSource(seed + 2))
+	epochs := uint64(0)
+	commitEpoch := func() error {
+		muts := make([]livestore.Mutation, 0, 16)
+		for i := 0; i < 16; i++ {
+			o := hview.Collection().Objects[hotPos[rng.Intn(len(hotPos))]]
+			muts = append(muts, livestore.Mutation{
+				Op: livestore.OpUpdate, ID: o.ID,
+				Loc: geo.Pt(
+					hot.Min.X+rng.Float64()*(hot.Max.X-hot.Min.X),
+					hot.Min.Y+rng.Float64()*(hot.Max.Y-hot.Min.Y),
+				),
+				Weight: 0.2 + 0.7*rng.Float64(), Text: o.Text,
+			})
+		}
+		_, _, err := ls.Apply(ctx, muts)
+		return err
+	}
+	stride := len(trace) / churnEpochs
+	if stride < 1 {
+		stride = 1
+	}
+	pin := func() (geodata.View, uint64) { return ls.Snapshot() }
+	if _, err := runPass(churnCache, nil, pin, "churn-fill", nil); err != nil {
+		return err
+	}
+	row, err := runPass(churnCache, nil, pin, "churn", func(i int) error {
+		if i%stride != 0 || int(epochs) >= churnEpochs {
+			return nil
+		}
+		epochs++
+		return commitEpoch()
+	})
+	if err != nil {
+		return err
+	}
+	cst := churnCache.Stats()
+	report.Churn = tileChurnRow{
+		tileLatencyRow: row,
+		Epochs:         epochs,
+		Invalidations:  cst.Invalidations,
+		TileMisses:     cst.TileMisses,
+		RepairDropped:  cst.RepairDropped,
+	}
+	if cst.RepairNs.Count > 0 {
+		report.Churn.AvgRepairNs = int64(cst.RepairNs.SumNs / cst.RepairNs.Count)
+	}
+	if cst.ColdComputeNs.Count > 0 {
+		report.Churn.AvgColdComputeNs = int64(cst.ColdComputeNs.SumNs / cst.ColdComputeNs.Count)
+	}
+	if cst.WarmServes > 0 {
+		report.Churn.DroppedPerServe = float64(cst.RepairDropped) / float64(cst.WarmServes)
+	}
+	if serves := cst.WarmServes + cst.Fallbacks; serves > 0 {
+		report.Churn.FallbackFrac = float64(cst.Fallbacks) / float64(serves)
+	}
+	if epochs > 0 {
+		report.Churn.InvalidationsFrac = float64(cst.Invalidations) / float64(epochs)
+	}
+	fmt.Fprintf(os.Stderr, "[churn: p50 %v p99 %v over %d steps, %d epochs, %d invalidations, avg repair %v]\n",
+		time.Duration(row.P50Ns).Round(time.Microsecond),
+		time.Duration(row.P99Ns).Round(time.Microsecond),
+		row.Steps, epochs, cst.Invalidations,
+		time.Duration(report.Churn.AvgRepairNs))
+
+	return writeJSON(out, report)
+}

@@ -16,13 +16,19 @@
 //	POST /sessions/{id}/pan
 //	POST /sessions/{id}/prefetch      warm the next operation
 //	DELETE /sessions/{id}
+//	GET  /store/stats                 store counters, snapshot version, uptime
 //
-// With -live, the dataset is mutable and three more endpoints are
+// With -live, the dataset is mutable and two more endpoints are
 // active (they answer 501 otherwise):
 //
 //	POST   /ingest                    commit a mutation batch as one epoch
 //	DELETE /objects/{id}              delete one object by external id
-//	GET    /store/stats               live-store counters
+//
+// With -tilecache, selections are materialized per map tile and two
+// more endpoints are active (they answer 501 otherwise):
+//
+//	GET /tiles/{z}/{x}/{y}            one tile's selection, compact binary + ETag
+//	GET /cache/stats                  tile cache hit/miss/eviction/repair counters
 package main
 
 import (
@@ -64,9 +70,13 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", engine.DefaultSessionTTL, "evict sessions idle for this long (negative = never)")
 		maxSessions = flag.Int("max-sessions", engine.DefaultMaxSessions, "maximum live sessions; the idlest is evicted beyond this")
 		asyncPre    = flag.Bool("async-prefetch", true, "compute next-operation bounds on a background goroutine after each navigation")
-		live        = flag.Bool("live", false, "serve a mutable live store: enables POST /ingest, DELETE /objects/{id} and GET /store/stats")
+		live        = flag.Bool("live", false, "serve a mutable live store: enables POST /ingest and DELETE /objects/{id}")
 		ingestBatch = flag.Int("ingest-batch", engine.DefaultIngestBatch, "live-store ingest queue auto-flush threshold")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled")
+		tileCache   = flag.Bool("tilecache", false, "materialize selections per map tile: warm /select and session serving, enables GET /tiles/{z}/{x}/{y} and GET /cache/stats")
+		tileCap     = flag.Int("tilecache-capacity", 0, "cached tile entries across all shards (0 = engine default)")
+		tileBands   = flag.Int("tile-theta-bands", 0, "θ quantization bands per octave for tile cache keys (0 = engine default)")
+		tileBudget  = flag.Float64("tile-repair-budget", 0, "seam-repair gain budget as a fraction of stitched gain mass before falling back to full greedy (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -97,14 +107,18 @@ func main() {
 		col.ApplyTFIDF()
 	}
 	cfg := engine.Config{
-		Metric:         sim.Cosine{},
-		Parallelism:    *par,
-		PruneEps:       *pruneEps,
-		AsyncPrefetch:  *asyncPre,
-		RequestTimeout: *reqTimeout,
-		SessionTTL:     *sessionTTL,
-		MaxSessions:    *maxSessions,
-		IngestBatch:    *ingestBatch,
+		Metric:            sim.Cosine{},
+		Parallelism:       *par,
+		PruneEps:          *pruneEps,
+		AsyncPrefetch:     *asyncPre,
+		RequestTimeout:    *reqTimeout,
+		SessionTTL:        *sessionTTL,
+		MaxSessions:       *maxSessions,
+		IngestBatch:       *ingestBatch,
+		TileCache:         *tileCache,
+		TileCacheCapacity: *tileCap,
+		TileThetaBands:    *tileBands,
+		TileRepairBudget:  *tileBudget,
 	}
 	var src geodata.Source
 	if *live {

@@ -49,6 +49,10 @@ func TestValidateRejectsOutOfRange(t *testing.T) {
 		{"negative TilesPerSide", func(c *Config) { c.TilesPerSide = -4 }, "TilesPerSide"},
 		{"negative RequestTimeout", func(c *Config) { c.RequestTimeout = -time.Second }, "RequestTimeout"},
 		{"negative MaxSessions", func(c *Config) { c.MaxSessions = -1 }, "MaxSessions"},
+		{"negative TileCacheCapacity", func(c *Config) { c.TileCacheCapacity = -1 }, "TileCacheCapacity"},
+		{"negative TileThetaBands", func(c *Config) { c.TileThetaBands = -2 }, "TileThetaBands"},
+		{"negative TileRepairBudget", func(c *Config) { c.TileRepairBudget = -0.1 }, "TileRepairBudget"},
+		{"TileRepairBudget at 1", func(c *Config) { c.TileRepairBudget = 1 }, "TileRepairBudget"},
 	}
 	for _, tc := range cases {
 		cfg := validConfig()
@@ -75,9 +79,22 @@ func TestWithDefaults(t *testing.T) {
 	if got.MaxSessions != DefaultMaxSessions {
 		t.Errorf("MaxSessions = %d, want %d", got.MaxSessions, DefaultMaxSessions)
 	}
+	if got.TileCacheCapacity != DefaultTileCacheCapacity {
+		t.Errorf("TileCacheCapacity = %d, want %d", got.TileCacheCapacity, DefaultTileCacheCapacity)
+	}
+	if got.TileThetaBands != DefaultTileThetaBands {
+		t.Errorf("TileThetaBands = %d, want %d", got.TileThetaBands, DefaultTileThetaBands)
+	}
+	if got.TileRepairBudget != DefaultTileRepairBudget {
+		t.Errorf("TileRepairBudget = %v, want %v", got.TileRepairBudget, DefaultTileRepairBudget)
+	}
 	// Selection fields keep their meaningful zero values.
 	if got.K != 10 || got.Parallelism != 0 || got.PruneEps != 0 {
 		t.Errorf("selection fields altered: %+v", got)
+	}
+	// TileCache stays an explicit opt-in: WithDefaults never flips it.
+	if got.TileCache {
+		t.Error("WithDefaults enabled TileCache")
 	}
 	// Explicit settings survive.
 	cfg := validConfig()

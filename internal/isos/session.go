@@ -39,6 +39,13 @@ type Config struct {
 	// objects whose text mentions "restaurant"). The representative
 	// score is then computed over the filtered objects. Nil admits all.
 	Filter func(*geodata.Object) bool
+
+	// Warmer optionally serves navigations from a tile-grain
+	// materialized selection cache before falling back to the ordinary
+	// greedy run; see the Warmer interface. Ignored when Filter is set
+	// (cached tiles are computed without filters). Nil disables warm
+	// serving.
+	Warmer Warmer
 }
 
 // Selection reports one selection round in a session.
@@ -62,6 +69,11 @@ type Selection struct {
 	// Prefetched reports whether prefetched upper bounds seeded the
 	// heap.
 	Prefetched bool
+	// Warm reports that the selection was served from the configured
+	// Warmer (tile cache) instead of a greedy run; Score is then the
+	// cache's gain-mass approximation rather than the exact normalized
+	// score.
+	Warm bool
 }
 
 // Session is an interactive exploration of one dataset. A session
@@ -387,6 +399,9 @@ func assertBoundsDominate(objs []geodata.Object, cands []int, gains []float64, m
 // bounds, if non-nil, maps collection positions in G to prefetched
 // upper bounds. The session's visible set is updated only on success.
 func (s *Session) selectIn(ctx context.Context, region geo.Rect, d Derivation, unconstrained bool, bounds map[int]float64) (*Selection, error) {
+	if sel, ok := s.tryWarm(ctx, region, d, unconstrained); ok {
+		return sel, nil
+	}
 	regionPos := s.regionObjects(region)
 	col := s.view.Collection()
 	objs := col.Subset(regionPos)
@@ -464,4 +479,41 @@ func (s *Session) selectIn(ctx context.Context, region geo.Rect, d Derivation, u
 	s.visible = append([]int(nil), out.Positions...)
 	s.visibleVersion = s.version
 	return out, nil
+}
+
+// tryWarm offers the navigation to the configured Warmer. ok = false
+// (no warmer, a filter in play, or the warmer declining) sends the
+// caller down the ordinary greedy path. On success the warm selection
+// is installed exactly as selectIn would install its own: the Warmer
+// contract guarantees it honors the same consistency constraints, and
+// assertTransition re-verifies that under the geoselcheck tag.
+func (s *Session) tryWarm(ctx context.Context, region geo.Rect, d Derivation, unconstrained bool) (*Selection, bool) {
+	w := s.cfg.Warmer
+	if w == nil || s.cfg.Filter != nil {
+		return nil, false
+	}
+	var forced, cands []int
+	if !unconstrained {
+		forced, cands = d.D, d.G
+	}
+	start := time.Now()
+	pos, score, regionObjects, ok := w.WarmNavigate(ctx, s.view, s.version, region, s.cfg.K, s.theta(region), forced, cands)
+	if !ok {
+		return nil, false
+	}
+	out := &Selection{
+		Positions:      pos,
+		Score:          score,
+		RegionObjects:  regionObjects,
+		ForcedCount:    len(forced),
+		CandidateCount: len(cands),
+		Elapsed:        time.Since(start),
+		Warm:           true,
+	}
+	if unconstrained {
+		out.CandidateCount = regionObjects
+	}
+	s.visible = append([]int(nil), pos...)
+	s.visibleVersion = s.version
+	return out, true
 }

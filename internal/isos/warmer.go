@@ -1,0 +1,24 @@
+package isos
+
+import (
+	"context"
+
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+)
+
+// Warmer serves a navigation's selection from a materialized cache
+// instead of a fresh greedy run — the session-facing hook of the
+// tile-grain cache (internal/tilecache implements it; the interface
+// lives here so the cache package needs no isos import).
+//
+// The contract mirrors the consistency constraints of selectIn: every
+// position in forced must appear in the returned selection, positions
+// outside candidates (when non-nil) must not newly appear, the result
+// must be pairwise θ-separated at theta and no longer than k, and every
+// returned position must be resolvable (live) on the given view at the
+// given version. ok = false declines the navigation — the session then
+// runs its ordinary selection, so declining is always safe.
+type Warmer interface {
+	WarmNavigate(ctx context.Context, view geodata.View, version uint64, region geo.Rect, k int, theta float64, forced, candidates []int) (positions []int, score float64, regionObjects int, ok bool)
+}

@@ -115,6 +115,38 @@ func (g *cowGrid) cellKey(p geo.Point) int {
 	return cy*g.nx + cx
 }
 
+// hugeCoord stands in for infinity when widening edge-cell rectangles
+// (the package deliberately avoids a math import; geo.Rect arithmetic
+// treats the sentinel exactly like an unbounded edge at this magnitude).
+const hugeCoord = 1e300
+
+// cellRect returns the world-space rectangle of cell k. Edge cells are
+// widened to an unbounded extent on their outer sides: cellCoords clamps
+// out-of-bounds locations into them, so an edge cell's true catchment
+// area extends past the grid bounds and invalidation consumers must see
+// that full extent.
+func (g *cowGrid) cellRect(k int) geo.Rect {
+	cx := k % g.nx
+	cy := k / g.nx
+	r := geo.Rect{
+		Min: geo.Pt(g.bounds.Min.X+float64(cx)*g.cell, g.bounds.Min.Y+float64(cy)*g.cell),
+		Max: geo.Pt(g.bounds.Min.X+float64(cx+1)*g.cell, g.bounds.Min.Y+float64(cy+1)*g.cell),
+	}
+	if cx == 0 {
+		r.Min.X = -hugeCoord
+	}
+	if cx == g.nx-1 {
+		r.Max.X = hugeCoord
+	}
+	if cy == 0 {
+		r.Min.Y = -hugeCoord
+	}
+	if cy == g.ny-1 {
+		r.Max.Y = hugeCoord
+	}
+	return r
+}
+
 // rebuildGrid builds a grid from scratch over the live objects — the
 // cost an epoch commit avoids. Used once at store construction and by
 // RebuildIndex as the benchmark comparator.
@@ -154,11 +186,13 @@ type posLoc struct {
 }
 
 // commit returns the next epoch's grid: the cell table cloned, plus the
-// delta applied cell by cell. dels and adds carry the positions leaving
-// and entering the index with their locations. Dirty cells are rewritten
+// delta applied cell by cell, and the keys of the cells the delta
+// touched (the epoch's dirty-cell set, which the snapshot exports
+// through DirtyCells). dels and adds carry the positions leaving and
+// entering the index with their locations. Dirty cells are rewritten
 // on the pool when the delta is large; each task owns one distinct cell,
 // so the parallel path is race-free by partitioning.
-func (g *cowGrid) commit(ctx context.Context, dels, adds []posLoc, workers int) (*cowGrid, int, error) {
+func (g *cowGrid) commit(ctx context.Context, dels, adds []posLoc, workers int) (*cowGrid, []int, error) {
 	next := &cowGrid{bounds: g.bounds, cell: g.cell, nx: g.nx, ny: g.ny}
 	next.cells = make([][]int32, len(g.cells))
 	copy(next.cells, g.cells)
@@ -218,14 +252,18 @@ func (g *cowGrid) commit(ctx context.Context, dels, adds []posLoc, workers int) 
 		pool := parallel.New(workers)
 		defer pool.Close()
 		if err := pool.Run(ctx, len(deltas), rewrite); err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 	} else {
 		for i := range deltas {
 			rewrite(i)
 		}
 	}
-	return next, len(deltas), nil
+	dirty := make([]int, len(deltas))
+	for i := range deltas {
+		dirty[i] = deltas[i].key
+	}
+	return next, dirty, nil
 }
 
 // contains32 reports whether v occurs in s (small-slice membership).

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"geosel/internal/engine"
+	"geosel/internal/geo"
 	"geosel/internal/geodata"
 	"geosel/internal/invariant"
 	"geosel/internal/textsim"
@@ -294,11 +295,19 @@ func (s *Store) applyLocked(ctx context.Context, muts []Mutation) (uint64, Outco
 	// The only fallible step, run before any writer state changes so a
 	// cancelled commit leaves the store exactly as it was.
 	commitStart := time.Now()
-	nextGr, _, err := s.gr.commit(ctx, dels, adds, s.parallelism)
+	nextGr, dirtyKeys, err := s.gr.commit(ctx, dels, adds, s.parallelism)
 	if err != nil {
 		return cur.version, Outcome{}, err
 	}
 	s.indexCommitNs += time.Since(commitStart).Nanoseconds()
+
+	// The epoch's dirty-cell set as world rectangles, recorded on the
+	// next snapshot's capped history so readers (the tile cache) can ask
+	// "what changed since version V" without holding the writer lock.
+	dirtyCells := make([]geo.Rect, len(dirtyKeys))
+	for i, k := range dirtyKeys {
+		dirtyCells[i] = s.gr.cellRect(k)
+	}
 
 	// Point of no return: mutate writer state, then publish. Appends go
 	// strictly beyond every published snapshot's length, so concurrent
@@ -354,9 +363,24 @@ func (s *Store) applyLocked(ctx context.Context, muts []Mutation) (uint64, Outco
 		live:      liveCopy,
 		liveCount: s.liveCount,
 		gr:        s.gr,
+		dirty:     appendDirtyEpoch(cur.dirty, cur.version+1, dirtyCells),
 	}
 	s.cur.Store(next)
 	return next.version, out, nil
+}
+
+// appendDirtyEpoch extends a snapshot's dirty-epoch history with one
+// committed epoch, keeping at most maxDirtyHistory recent epochs. The
+// history is copied, never shared mutably: every snapshot owns its
+// header slice, while the per-epoch rect slices (immutable once built)
+// are shared across snapshots.
+func appendDirtyEpoch(hist []epochDirty, version uint64, cells []geo.Rect) []epochDirty {
+	if len(hist) >= maxDirtyHistory {
+		hist = hist[len(hist)-maxDirtyHistory+1:]
+	}
+	out := make([]epochDirty, 0, len(hist)+1)
+	out = append(out, hist...)
+	return append(out, epochDirty{version: version, cells: cells})
 }
 
 // Enqueue buffers one mutation on the ingest queue and commits the

@@ -36,10 +36,28 @@ type Snapshot struct {
 	base *geodata.Store
 	gr   *cowGrid
 
+	// dirty is the capped per-epoch dirty-cell history ending at this
+	// snapshot's version, newest last; see DirtyCells.
+	dirty []epochDirty
+
 	boundsOnce sync.Once
 	boundsRect geo.Rect
 	boundsOK   bool
 }
+
+// epochDirty records the grid cells one epoch's commit rewrote, as
+// world-space rectangles. The rect slice is immutable once published
+// and shared by every later snapshot that still retains the epoch.
+type epochDirty struct {
+	version uint64
+	cells   []geo.Rect
+}
+
+// maxDirtyHistory caps how many recent epochs of dirty-cell sets a
+// snapshot retains. Callers asking DirtyCells about an older horizon get
+// ok = false and must treat everything as dirty; the cap keeps snapshot
+// publication O(1)-ish and bounds the memory pinned by long chains.
+const maxDirtyHistory = 128
 
 // Version returns the snapshot's epoch, monotone across commits.
 func (sn *Snapshot) Version() uint64 { return sn.version }
@@ -113,6 +131,39 @@ func (sn *Snapshot) Bounds() (geo.Rect, bool) {
 		sn.boundsOK = !first
 	})
 	return sn.boundsRect, sn.boundsOK
+}
+
+// DirtyCells appends to dst the world-space rectangles of every grid
+// cell dirtied by the epochs in (sinceVersion, sn.Version()] and reports
+// whether the snapshot's history actually covers that whole interval.
+// ok = false means the history was truncated (the store committed more
+// than maxDirtyHistory epochs since sinceVersion, or sinceVersion
+// predates the retained horizon): the caller must then assume every
+// region changed. A sinceVersion at or beyond the snapshot's own version
+// returns dst unchanged with ok = true — nothing happened in an empty
+// interval.
+//
+// Rectangles are cell-granular and may overlap; edge cells extend to an
+// effectively unbounded rect on their outer sides because out-of-bounds
+// locations clamp into them. The appended slices alias the snapshot's
+// immutable history, so dst's new elements are safe to read from any
+// goroutine but the interval union is not deduplicated.
+func (sn *Snapshot) DirtyCells(sinceVersion uint64, dst []geo.Rect) ([]geo.Rect, bool) {
+	if sinceVersion >= sn.version {
+		return dst, true
+	}
+	// Epoch versions in the history are consecutive (no-op batches do
+	// not bump the version), so coverage of (sinceVersion, version] just
+	// needs the oldest retained epoch to be <= sinceVersion+1.
+	if len(sn.dirty) == 0 || sn.dirty[0].version > sinceVersion+1 {
+		return dst, false
+	}
+	for _, e := range sn.dirty {
+		if e.version > sinceVersion {
+			dst = append(dst, e.cells...)
+		}
+	}
+	return dst, true
 }
 
 // frozen pins one snapshot as a Source that never advances — the

@@ -29,6 +29,7 @@ import (
 	"geosel/internal/geodata"
 	"geosel/internal/isos"
 	"geosel/internal/livestore"
+	"geosel/internal/tilecache"
 )
 
 // maxBodyBytes bounds request bodies; selection requests are tiny.
@@ -64,6 +65,12 @@ type Server struct {
 	// endpoints answer 501.
 	live *livestore.Store
 	cfg  engine.Config
+	// cache is the tile-grain materialized selection cache, nil unless
+	// cfg.TileCache is set; with it, /select and session navigations are
+	// served warm when possible and GET /tiles/{z}/{x}/{y} is active.
+	cache *tilecache.Cache
+	// started anchors the uptime reported by GET /store/stats.
+	started time.Time
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
@@ -75,9 +82,10 @@ type Server struct {
 
 // New returns a server over the given source — a static *geodata.Store
 // or a live *livestore.Store. With a live store the mutation endpoints
-// (POST /ingest, DELETE /objects/{id}, GET /store/stats) are active and
-// every read request pins the then-current snapshot; with a static
-// store they answer 501 and reads see the one version-0 view.
+// (POST /ingest, DELETE /objects/{id}) are active and every read
+// request pins the then-current snapshot; with a static store they
+// answer 501 and reads see the one version-0 view. GET /store/stats
+// answers for both kinds of store.
 //
 // cfg must carry at least the Metric; K and ThetaFrac arrive per
 // request. Zero-valued serving fields take the engine defaults
@@ -92,13 +100,22 @@ func New(src geodata.Source, cfg engine.Config) (*Server, error) {
 	}
 	cfg = cfg.WithDefaults()
 	live, _ := src.(*livestore.Store)
-	return &Server{
+	srv := &Server{
 		src:      src,
 		live:     live,
 		cfg:      cfg,
 		sessions: make(map[string]*sessionEntry),
 		now:      time.Now,
-	}, nil
+		started:  time.Now(),
+	}
+	if cfg.TileCache {
+		cache, err := tilecache.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		srv.cache = cache
+	}
+	return srv, nil
 }
 
 // Close cancels the background prefetch goroutines of every live
@@ -153,6 +170,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("DELETE /objects/{id}", s.handleDeleteObject)
 	mux.HandleFunc("GET /store/stats", s.handleStoreStats)
+	mux.HandleFunc("GET /tiles/{z}/{x}/{y}", s.handleTile)
+	mux.HandleFunc("GET /cache/stats", s.handleCacheStats)
 	return mux
 }
 
@@ -184,6 +203,10 @@ type selectionJSON struct {
 	RegionObjects int          `json:"regionObjects"`
 	Prefetched    bool         `json:"prefetched,omitempty"`
 	ResponseMs    float64      `json:"responseMs,omitempty"`
+	// Warm reports the selection was stitched from the tile cache; its
+	// score is then the gain-mass approximation (ScoreApprox).
+	Warm        bool `json:"warm,omitempty"`
+	ScoreApprox bool `json:"scoreApprox,omitempty"`
 }
 
 // objectsFor renders positions against the view they were selected on.
@@ -240,7 +263,22 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	// Pin one snapshot for the whole request: region fetch, selection
 	// and rendering all see the same consistent version even while
 	// /ingest commits new epochs concurrently.
-	view, _ := s.src.Snapshot()
+	view, version := s.src.Snapshot()
+	if s.cache != nil {
+		res, err := s.cache.Select(ctx, view, version, region, req.K, req.ThetaFrac*region.Width(), nil)
+		if err != nil {
+			writeError(w, ctxStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, selectionJSON{
+			Objects:       objectsFor(view, res.Positions),
+			Score:         res.Score,
+			RegionObjects: res.RegionObjects,
+			Warm:          !res.Fallback,
+			ScoreApprox:   res.ScoreApprox,
+		})
+		return
+	}
 	regionPos := view.Region(region)
 	objs := view.Collection().Subset(regionPos)
 	cfg := s.cfg
@@ -278,6 +316,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	cfg := isos.Config{Config: s.cfg}
 	cfg.K = req.K
 	cfg.ThetaFrac = req.ThetaFrac
+	if s.cache != nil {
+		// Assign only through the nil check: a typed-nil *Cache inside the
+		// interface would defeat the session's Warmer == nil test.
+		cfg.Warmer = s.cache
+	}
 	if req.TilesPerSide > 0 {
 		cfg.TilesPerSide = req.TilesPerSide
 	}
@@ -399,6 +442,8 @@ func (s *Server) sessionOp(kind opKind) http.HandlerFunc {
 			RegionObjects: sel.RegionObjects,
 			Prefetched:    sel.Prefetched,
 			ResponseMs:    float64(sel.Elapsed.Microseconds()) / 1000,
+			Warm:          sel.Warm,
+			ScoreApprox:   sel.Warm,
 		})
 	}
 }
@@ -574,24 +619,113 @@ func (s *Server) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
-	live := s.requireLive(w)
-	if live == nil {
+	view, version := s.src.Snapshot()
+	out := map[string]any{
+		"version":       version,
+		"live":          view.Len(),
+		"static":        s.live == nil,
+		"uptimeSeconds": s.now().Sub(s.started).Seconds(),
+	}
+	if s.live != nil {
+		st := s.live.Stats()
+		out["version"] = st.Version
+		out["live"] = st.Live
+		out["slots"] = st.Slots
+		out["deadSlots"] = st.DeadSlots
+		out["pending"] = st.Pending
+		out["batches"] = st.Batches
+		out["mutations"] = st.Mutations
+		out["inserted"] = st.Totals.Inserted
+		out["updated"] = st.Totals.Updated
+		out["deleted"] = st.Totals.Deleted
+		out["missed"] = st.Totals.Missed
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Table 2 defaults a bare tile request implies; clients override with
+// the k / theta / thetaFrac query parameters.
+const (
+	defaultTileK         = 100
+	defaultTileThetaFrac = 0.003
+)
+
+// handleTile serves one materialized tile in the compact binary wire
+// format (tilecache/wire.go). The ETag fully determines the payload
+// bytes, so If-None-Match revalidation — and CDN caching keyed on the
+// ETag — is sound; Cache-Control asks intermediaries to revalidate
+// because a live store's content moves with the snapshot version.
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotImplemented, "tile cache not enabled: configure engine.Config.TileCache")
 		return
 	}
-	st := live.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"version":   st.Version,
-		"live":      st.Live,
-		"slots":     st.Slots,
-		"deadSlots": st.DeadSlots,
-		"pending":   st.Pending,
-		"batches":   st.Batches,
-		"mutations": st.Mutations,
-		"inserted":  st.Totals.Inserted,
-		"updated":   st.Totals.Updated,
-		"deleted":   st.Totals.Deleted,
-		"missed":    st.Totals.Missed,
-	})
+	z, errZ := strconv.Atoi(r.PathValue("z"))
+	x, errX := strconv.Atoi(r.PathValue("x"))
+	y, errY := strconv.Atoi(r.PathValue("y"))
+	if errZ != nil || errX != nil || errY != nil {
+		writeError(w, http.StatusBadRequest, "tile coordinates must be integers")
+		return
+	}
+	q := r.URL.Query()
+	k := defaultTileK
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "k must be an integer")
+			return
+		}
+		k = n
+	}
+	var theta float64
+	switch {
+	case q.Get("theta") != "":
+		t, err := strconv.ParseFloat(q.Get("theta"), 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "theta must be a number")
+			return
+		}
+		theta = t
+	default:
+		frac := defaultTileThetaFrac
+		if v := q.Get("thetaFrac"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "thetaFrac must be a number")
+				return
+			}
+			frac = f
+		}
+		theta = tilecache.DefaultTileTheta(int32(z), frac)
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	view, version := s.src.Snapshot()
+	payload, etag, err := s.cache.TilePayload(ctx, view, version, z, x, y, theta, k, nil)
+	if err != nil {
+		writeError(w, ctxStatus(err), err.Error())
+		return
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	if _, err := w.Write(payload); err != nil {
+		// Client went away mid-body; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotImplemented, "tile cache not enabled: configure engine.Config.TileCache")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cache.Stats())
 }
 
 // decode reads a JSON body into dst, writing a 400 on failure.

@@ -1,0 +1,167 @@
+package server
+
+// HTTP surface of the tile cache: GET /tiles/{z}/{x}/{y} with ETag
+// revalidation, GET /cache/stats, the cache-aware /select path, and
+// the static-capable GET /store/stats.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"geosel/internal/engine"
+	"geosel/internal/tilecache"
+)
+
+func get(t *testing.T, url string, header http.Header) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestTilesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, engine.Config{TileCache: true})
+	resp := get(t, ts.URL+"/tiles/2/1/1?k=10", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag")
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tilecache.DecodeTile(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tile.Z != 2 || d.Tile.X != 1 || d.Tile.Y != 1 || d.K != 10 {
+		t.Fatalf("decoded tile %+v", d)
+	}
+	if len(d.Members) == 0 {
+		t.Fatal("empty tile selection over the test dataset")
+	}
+
+	// Revalidation: the same tile at the same version is a 304.
+	cached := get(t, ts.URL+"/tiles/2/1/1?k=10", http.Header{"If-None-Match": {etag}})
+	if cached.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match status %d, want 304", cached.StatusCode)
+	}
+	// A different shape is different content with a different ETag.
+	other := get(t, ts.URL+"/tiles/2/1/1?k=5", http.Header{"If-None-Match": {etag}})
+	if other.StatusCode != http.StatusOK {
+		t.Fatalf("k=5 status %d", other.StatusCode)
+	}
+	if other.Header.Get("ETag") == etag {
+		t.Error("different k produced the same ETag")
+	}
+
+	for _, path := range []string{
+		"/tiles/2/9/0",     // outside the zoom-2 grid
+		"/tiles/-1/0/0",    // negative zoom
+		"/tiles/a/0/0",     // non-integer coordinate
+		"/tiles/2/0/0?k=0", // non-positive k
+		"/tiles/2/0/0?theta=x",
+	} {
+		if resp := get(t, ts.URL+path, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTileEndpointsDisabledWithoutCache(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/tiles/1/0/0", "/cache/stats"} {
+		if resp := get(t, ts.URL+path, nil); resp.StatusCode != http.StatusNotImplemented {
+			t.Errorf("GET %s: status %d, want 501", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCacheStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, engine.Config{TileCache: true})
+	if resp := get(t, ts.URL+"/tiles/1/0/0", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tile status %d", resp.StatusCode)
+	}
+	resp := get(t, ts.URL+"/cache/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st tilecache.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TileMisses == 0 || st.Entries == 0 || st.Capacity == 0 {
+		t.Fatalf("stats did not record the tile compute: %+v", st)
+	}
+}
+
+func TestSelectServedWarmThroughCache(t *testing.T) {
+	_, ts := newTestServer(t, engine.Config{TileCache: true})
+	body := map[string]any{
+		"region":    map[string]float64{"minX": 0.2, "minY": 0.2, "maxX": 0.45, "maxY": 0.4},
+		"k":         15,
+		"thetaFrac": 0.003,
+	}
+	resp1, out1 := post(t, ts.URL+"/select", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first select status %d", resp1.StatusCode)
+	}
+	resp2, out2 := post(t, ts.URL+"/select", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second select status %d", resp2.StatusCode)
+	}
+	if !field[bool](t, out2, "warm") || !field[bool](t, out2, "scoreApprox") {
+		t.Fatalf("second select not served warm: %v", out2)
+	}
+	// Same version, same request: the stitched serve is deterministic.
+	if string(out1["objects"]) != string(out2["objects"]) {
+		t.Fatal("repeat select returned different objects")
+	}
+	if n := len(field[[]objectJSON](t, out2, "objects")); n == 0 || n > 15 {
+		t.Fatalf("warm selection size %d outside (0, 15]", n)
+	}
+}
+
+func TestStoreStatsOnStaticStore(t *testing.T) {
+	ts := testServer(t)
+	resp := get(t, ts.URL+"/store/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("static /store/stats status %d, want 200", resp.StatusCode)
+	}
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !field[bool](t, out, "static") {
+		t.Error("static store not reported as static")
+	}
+	if v := field[uint64](t, out, "version"); v != 0 {
+		t.Errorf("static snapshot version %d, want 0", v)
+	}
+	if n := field[int](t, out, "live"); n != 5000 {
+		t.Errorf("live objects %d, want the 5000 test objects", n)
+	}
+	if up := field[float64](t, out, "uptimeSeconds"); up < 0 {
+		t.Errorf("negative uptime %v", up)
+	}
+}

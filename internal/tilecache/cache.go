@@ -1,0 +1,332 @@
+package tilecache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geosel/internal/core"
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+)
+
+// DirtyView is the view capability epoch invalidation consumes:
+// DirtyCells appends the world-space rectangles rewritten by the epochs
+// in (sinceVersion, current] and reports whether the view's history
+// covers that whole interval (livestore.Snapshot implements it). Views
+// without the capability — the static Store — are only ever served at
+// version 0, where entries never go stale.
+type DirtyView interface {
+	geodata.View
+	DirtyCells(sinceVersion uint64, dst []geo.Rect) ([]geo.Rect, bool)
+}
+
+// numShards spreads the cache over independently locked shards; a
+// power of two so shard selection is a mask.
+const numShards = 16
+
+// entry is one materialized tile selection. pos/gains/score/count are
+// immutable after insert; ver advances under the shard lock when an
+// epoch sweep proves the tile untouched, so readers copy nothing.
+type entry struct {
+	key Key
+	// born is the snapshot version the selection was computed at; it
+	// never changes and identifies the entry's content (the /tiles
+	// ETag).
+	born uint64
+	// ver is the newest version the entry is known valid at: the tile's
+	// cells were not dirtied by any epoch in (born, ver].
+	ver uint64
+	// pos holds the selected collection positions in selection order;
+	// gains the matching unnormalized marginal gains.
+	pos   []int32
+	gains []float64
+	// score is the tile-normalized selection score, count the number of
+	// objects in the tile at compute time.
+	score float64
+	count int32
+
+	prev, next *entry // intrusive LRU list, most recent first
+}
+
+// flight coalesces concurrent computes of one key: latecomers wait for
+// the leader and then re-read the shard map.
+type flight struct {
+	wg  sync.WaitGroup
+	err error
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	flights map[Key]*flight
+	root    entry // LRU sentinel: root.next is most recent
+}
+
+func (sh *shard) init() {
+	sh.entries = make(map[Key]*entry)
+	sh.flights = make(map[Key]*flight)
+	sh.root.prev, sh.root.next = &sh.root, &sh.root
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev, e.next = &sh.root, sh.root.next
+	e.prev.next, e.next.prev = e, e
+}
+
+func (sh *shard) unlink(e *entry) {
+	e.prev.next, e.next.prev = e.next, e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) touch(e *entry) {
+	if sh.root.next == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+func (sh *shard) drop(e *entry) {
+	sh.unlink(e)
+	delete(sh.entries, e.key)
+}
+
+// Cache is the tile-grain materialized selection cache. Construct with
+// New; all methods are safe for concurrent use.
+type Cache struct {
+	cfg      engine.Config
+	bands    int
+	budget   float64
+	perShard int
+
+	shards [numShards]shard
+
+	// watermark is the newest version an eager sweep has brought every
+	// retained entry up to; serving at a version <= watermark needs no
+	// sweep. Entry-level validity is still re-checked at lookup time.
+	watermark atomic.Uint64
+	sweepMu   sync.Mutex
+
+	stats   counters
+	scratch sync.Pool
+}
+
+// New builds a cache from the engine config (which must carry the
+// Metric; K and θ arrive per request). TileCacheCapacity, TileThetaBands
+// and TileRepairBudget take their engine defaults when zero.
+func New(cfg engine.Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithDefaults()
+	per := cfg.TileCacheCapacity / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{
+		cfg:      cfg,
+		bands:    cfg.TileThetaBands,
+		budget:   cfg.TileRepairBudget,
+		perShard: per,
+	}
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	c.scratch.New = func() any { return &scratch{} }
+	return c, nil
+}
+
+// sync eagerly reconciles the cache with the serving version: entries
+// in cells dirtied since the last sweep are evicted, untouched entries
+// have their validity watermark bumped, so steady-state lookups hit the
+// e.ver == version fast path. With a truncated dirty history (or no
+// DirtyView at all) everything older is evicted — correct, just cold.
+func (c *Cache) sync(dv DirtyView, version uint64) {
+	if c.watermark.Load() >= version {
+		return
+	}
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	w := c.watermark.Load()
+	if w >= version {
+		return
+	}
+	var rects []geo.Rect
+	covered := false
+	if dv != nil {
+		rects, covered = dv.DirtyCells(w, nil)
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.ver >= version {
+				continue
+			}
+			// Entries behind the previous watermark would need their own
+			// dirty interval; evict them rather than widen the query.
+			if !covered || e.ver < w || anyIntersects(rects, e.key.T.Rect()) {
+				sh.drop(e)
+				c.stats.invalidations.Add(1)
+				continue
+			}
+			e.ver = version
+		}
+		sh.mu.Unlock()
+	}
+	c.watermark.Store(version)
+}
+
+func anyIntersects(rects []geo.Rect, r geo.Rect) bool {
+	for i := range rects {
+		if rects[i].Intersects(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// entryValid re-establishes e's validity at the serving version under
+// the shard lock — the authoritative, race-proof check: even an entry
+// inserted by a laggard compute after a sweep is validated against the
+// serving snapshot's own dirty history before it is ever served.
+func (c *Cache) entryValid(e *entry, dv DirtyView, version uint64, sc *scratch) bool {
+	if e.ver == version {
+		return true
+	}
+	if dv == nil {
+		return false
+	}
+	sc.rects = sc.rects[:0]
+	rects, covered := dv.DirtyCells(e.ver, sc.rects)
+	sc.rects = rects
+	if !covered || anyIntersects(rects, e.key.T.Rect()) {
+		return false
+	}
+	e.ver = version
+	return true
+}
+
+// getTile returns the materialized selection for key at the serving
+// version, computing and caching it on a miss. hit reports whether the
+// entry came out of the cache. Concurrent misses of one key are
+// coalesced; a request pinned to an older version than a cached entry
+// computes uncached instead of thrashing the newer entry.
+func (c *Cache) getTile(ctx context.Context, view geodata.View, dv DirtyView, version uint64, key Key, sc *scratch) (e *entry, hit bool, err error) {
+	sh := &c.shards[key.hash()&(numShards-1)]
+	var lead *flight
+	for {
+		sh.mu.Lock()
+		if e := sh.entries[key]; e != nil {
+			if e.born > version {
+				// Entry from a newer epoch; serve this older-pinned
+				// request uncached rather than evict fresher work.
+				sh.mu.Unlock()
+				c.stats.bypasses.Add(1)
+				e, err := c.computeTile(ctx, view, version, key)
+				return e, false, err
+			}
+			if c.entryValid(e, dv, version, sc) {
+				sh.touch(e)
+				sh.mu.Unlock()
+				c.stats.tileHits.Add(1)
+				return e, true, nil
+			}
+			sh.drop(e)
+			c.stats.invalidations.Add(1)
+		}
+		f := sh.flights[key]
+		if f == nil {
+			lead = &flight{}
+			lead.wg.Add(1)
+			sh.flights[key] = lead
+			sh.mu.Unlock()
+			break // this goroutine computes
+		}
+		sh.mu.Unlock()
+		f.wg.Wait()
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		c.stats.coalesced.Add(1)
+		// Re-read through the map: the leader's insert is revalidated
+		// against this request's own version on the next pass.
+	}
+
+	ent, err := c.computeTile(ctx, view, version, key)
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	if err == nil {
+		if old := sh.entries[key]; old != nil {
+			// A sweep-surviving or competing entry; keep the newer one.
+			if old.born >= ent.born {
+				sh.mu.Unlock()
+				lead.wg.Done()
+				c.stats.tileMisses.Add(1)
+				return ent, false, nil
+			}
+			sh.drop(old)
+		}
+		sh.entries[key] = ent
+		sh.pushFront(ent)
+		for len(sh.entries) > c.perShard {
+			tail := sh.root.prev
+			sh.drop(tail)
+			c.stats.evictions.Add(1)
+		}
+	}
+	sh.mu.Unlock()
+	lead.err = err
+	lead.wg.Done()
+	if err != nil {
+		return nil, false, err
+	}
+	c.stats.tileMisses.Add(1)
+	return ent, false, nil
+}
+
+// computeTile runs the ordinary greedy selection over the tile's
+// objects with the band-representative θ. The resulting entry depends
+// only on (tile contents at version, key), never on request order.
+func (c *Cache) computeTile(ctx context.Context, view geodata.View, version uint64, key Key) (*entry, error) {
+	if key.K <= 0 {
+		return nil, fmt.Errorf("tilecache: tile K = %d must be positive", key.K)
+	}
+	start := time.Now()
+	tilePos := view.Region(key.T.Rect())
+	cfg := c.cfg
+	cfg.K = int(key.K)
+	cfg.Theta = bandTheta(key.T.Z, key.Band, c.bands)
+	cfg.ThetaFrac = 0
+	sel := &core.Selector{Config: cfg, Objects: view.Collection().Subset(tilePos)}
+	res, err := sel.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ent := &entry{
+		key:   key,
+		born:  version,
+		ver:   version,
+		score: res.Score,
+		count: int32(len(tilePos)),
+		pos:   make([]int32, len(res.Selected)),
+		gains: append([]float64(nil), res.Gains...),
+	}
+	for i, s := range res.Selected {
+		ent.pos[i] = int32(tilePos[s])
+	}
+	c.stats.coldNs.observe(time.Since(start))
+	return ent, nil
+}
+
+func (c *Cache) getScratch() *scratch {
+	return c.scratch.Get().(*scratch)
+}
+
+func (c *Cache) putScratch(sc *scratch) {
+	c.scratch.Put(sc)
+}

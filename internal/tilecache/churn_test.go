@@ -1,0 +1,174 @@
+package tilecache
+
+// Churn tests: concurrent ingestion against concurrent cache serving,
+// proving dirty-tile invalidation never lets an epoch-mixing or stale
+// selection out of the cache. Named *Churn* so CI's churn-stress job
+// (`go test -race -run Churn -tags geoselcheck`) picks them up.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"geosel/internal/core"
+	"geosel/internal/engine"
+	"geosel/internal/geo"
+	"geosel/internal/livestore"
+	"geosel/internal/sim"
+)
+
+// TestChurnDirtyTilesNeverServedStale hammers the cache from reader
+// goroutines while a writer commits epochs that rewrite (update,
+// delete, re-insert — recycling livestore slots) the objects of one hot
+// cell. Every concurrent serve must hold the selection contract on its
+// own pinned snapshot, and once the dust settles the hot tile must be
+// served at a compute version at least as new as the last epoch that
+// dirtied it — the direct proof that no stale entry survived.
+func TestChurnDirtyTilesNeverServedStale(t *testing.T) {
+	ls, err := livestore.New(testCollection(2500, 17), engine.Config{Metric: sim.Cosine{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCache(t, engine.Config{TileCacheCapacity: 256})
+	ctx := context.Background()
+
+	// The hot cell sits inside zoom-1 tile (0,0); far viewports over
+	// tile (1,1) stay clean the whole run.
+	hot := geo.Rect{Min: geo.Pt(0.15, 0.15), Max: geo.Pt(0.35, 0.35)}
+	var lastDirtyVersion atomic.Uint64
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(done)
+		rng := rand.New(rand.NewSource(29))
+		view, _ := ls.Snapshot()
+		hotIDs := make([]int, 0, 64)
+		for _, p := range view.Region(hot) {
+			hotIDs = append(hotIDs, view.Collection().Objects[p].ID)
+		}
+		if len(hotIDs) < 4 {
+			t.Error("hot cell too empty to churn")
+			return
+		}
+		nextID := 1 << 20
+		for epoch := 0; epoch < 60; epoch++ {
+			muts := make([]livestore.Mutation, 0, 8)
+			for i := 0; i < 4; i++ {
+				id := hotIDs[rng.Intn(len(hotIDs))]
+				loc := geo.Pt(
+					hot.Min.X+rng.Float64()*(hot.Max.X-hot.Min.X),
+					hot.Min.Y+rng.Float64()*(hot.Max.Y-hot.Min.Y),
+				)
+				switch epoch % 3 {
+				case 0:
+					muts = append(muts, livestore.Mutation{
+						Op: livestore.OpUpdate, ID: id, Loc: loc,
+						Weight: 0.2 + 0.7*rng.Float64(), Text: "cafe pier",
+					})
+				case 1:
+					muts = append(muts, livestore.Mutation{Op: livestore.OpDelete, ID: id})
+				default:
+					// Re-insert under a fresh ID: recycles dead slots, the
+					// sharpest staleness hazard (a stale tile entry would
+					// point its positions at different objects).
+					muts = append(muts, livestore.Mutation{
+						Op: livestore.OpInsert, ID: nextID, Loc: loc,
+						Weight: 0.2 + 0.7*rng.Float64(), Text: "bar dock",
+					})
+					hotIDs = append(hotIDs, nextID)
+					nextID++
+				}
+			}
+			v, _, err := ls.Apply(ctx, muts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lastDirtyVersion.Store(v)
+		}
+	}()
+
+	viewports := []geo.Rect{
+		{Min: geo.Pt(0.1, 0.1), Max: geo.Pt(0.4, 0.38)},  // overlaps the hot cell
+		{Min: geo.Pt(0.2, 0.05), Max: geo.Pt(0.45, 0.3)}, // overlaps the hot cell
+		{Min: geo.Pt(0.6, 0.6), Max: geo.Pt(0.85, 0.82)}, // clean tile (1,1)
+		{Min: geo.Pt(0.55, 0.7), Max: geo.Pt(0.8, 0.95)}, // clean tile (1,1)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) { // reader
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				region := viewports[rng.Intn(len(viewports))]
+				theta := 0.01 * region.Width()
+				view, version := ls.Snapshot()
+				res, err := c.Select(ctx, view, version, region, 12, theta, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Every served position must resolve in-region on the
+				// request's own pinned snapshot, θ-separated under the
+				// requested threshold — a selection mixing tile entries
+				// from different effective epochs would trip these.
+				objs := view.Collection().Objects
+				for _, p := range res.Positions {
+					if p < 0 || p >= len(objs) {
+						t.Errorf("position %d outside the pinned collection", p)
+						return
+					}
+					if !region.Contains(objs[p].Loc) {
+						t.Errorf("position %d outside the viewport on its own snapshot", p)
+						return
+					}
+				}
+				if !core.SatisfiesVisibility(objs, res.Positions, theta) {
+					t.Error("churned serve violates θ-separation")
+					return
+				}
+			}
+		}(int64(31 + r))
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Settled check: the hot tile must have been recomputed at (or
+	// after) the last epoch that dirtied it; a smaller born version is
+	// a stale entry escaping invalidation.
+	view, version := ls.Snapshot()
+	theta := DefaultTileTheta(1, 0.003)
+	payload, _, err := c.TilePayload(ctx, view, version, 1, 0, 0, theta, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeTile(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := lastDirtyVersion.Load(); d.Version < want {
+		t.Fatalf("hot tile served at stale version %d; last dirtying epoch was %d", d.Version, want)
+	}
+	tileRect := (Tile{Z: 1, X: 0, Y: 0}).Rect()
+	for _, m := range d.Members {
+		grow := geo.Rect{
+			Min: geo.Pt(tileRect.Min.X-1e-6, tileRect.Min.Y-1e-6),
+			Max: geo.Pt(tileRect.Max.X+1e-6, tileRect.Max.Y+1e-6),
+		}
+		if !grow.Contains(m.Loc) {
+			t.Fatalf("member at %v outside the hot tile: stale position pointing at a recycled slot", m.Loc)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tilecache
+
+const raceEnabled = false

@@ -1,0 +1,389 @@
+package tilecache
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"geosel/internal/core"
+	"geosel/internal/geo"
+	"geosel/internal/geodata"
+	"geosel/internal/invariant"
+)
+
+// scratch is the pooled per-request workspace of the warm serving
+// path. Every slice is reused append-style, so a warm hit allocates
+// nothing beyond the caller's response buffer.
+type scratch struct {
+	tiles   []*entry
+	members []member
+	keptPos []int32
+	keptLoc []geo.Point
+	rects   []geo.Rect
+}
+
+// member is one cached tile-selection member inside the viewport.
+type member struct {
+	pos  int32
+	gain float64
+	loc  geo.Point
+}
+
+// Result describes one viewport served through the cache.
+type Result struct {
+	// Positions are collection positions in serve order (forced set
+	// first, then stitched members by descending recorded gain; on
+	// fallback, greedy selection order). It aliases the dst buffer
+	// passed to Select.
+	Positions []int
+	// Score is the selection's representative score. On the stitched
+	// path it is the gain-mass approximation Σ kept gains / |O_region|
+	// and ScoreApprox is true; on fallback it is the exact greedy score.
+	Score       float64
+	ScoreApprox bool
+	// Fallback reports that the stitch was abandoned and the result is
+	// a full greedy run, bitwise-identical to the uncached path.
+	Fallback bool
+	// RegionObjects counts the objects in the viewport.
+	RegionObjects int
+	// Version is the snapshot version the viewport was served at.
+	Version uint64
+	// Tiles and TileMisses count the covering tiles and how many of
+	// them had to be computed cold for this request.
+	Tiles      int
+	TileMisses int
+	// RepairDropped counts stitched members dropped for θ-conflicts;
+	// RepairDroppedGainFrac is the gain mass they carried, as a
+	// fraction of the total stitched gain mass.
+	RepairDropped         int
+	RepairDroppedGainFrac float64
+}
+
+// stitchInfo accumulates the repair pass bookkeeping.
+type stitchInfo struct {
+	keptGain     float64
+	totalGain    float64
+	droppedGain  float64
+	excludedGain float64
+	droppedCount int
+	tiles        int
+	misses       int
+}
+
+// Select serves one viewport through the cache: fetch the covering
+// tiles (computing misses), stitch their cached selections under the
+// requested θ, and fall back to a full greedy run when the seam repair
+// would cost more than the configured gain budget. dst (may be nil) is
+// the position buffer the result is appended into, so steady-state
+// callers can serve warm hits without per-request allocation.
+//
+// The version must be the one the view was pinned at (Source.Snapshot);
+// entries cached at other versions are revalidated against the view's
+// dirty-cell history, never served stale.
+func (c *Cache) Select(ctx context.Context, view geodata.View, version uint64, region geo.Rect, k int, theta float64, dst []int) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("tilecache: k = %d must be positive", k)
+	}
+	if theta < 0 {
+		return Result{}, fmt.Errorf("tilecache: theta = %v must be non-negative", theta)
+	}
+	if !region.Valid() {
+		return Result{}, fmt.Errorf("tilecache: invalid region %v", region)
+	}
+	c.stats.requests.Add(1)
+	dv, _ := view.(DirtyView)
+	c.sync(dv, version)
+
+	sc := c.getScratch()
+	info, ok, err := c.stitchRegion(ctx, view, dv, version, region, k, theta, nil, nil, sc)
+	if err != nil {
+		c.putScratch(sc)
+		return Result{}, err
+	}
+	if !ok {
+		c.putScratch(sc)
+		c.stats.fallbacks.Add(1)
+		return c.fallbackSelect(ctx, view, version, region, k, theta, dst)
+	}
+	for _, p := range sc.keptPos {
+		dst = append(dst, int(p))
+	}
+	regionObjects := view.CountRegion(region)
+	res := Result{
+		Positions:     dst,
+		Score:         normalizeGain(info.keptGain, regionObjects),
+		ScoreApprox:   true,
+		RegionObjects: regionObjects,
+		Version:       version,
+		Tiles:         info.tiles,
+		TileMisses:    info.misses,
+		RepairDropped: info.droppedCount,
+	}
+	if info.totalGain > 0 {
+		res.RepairDroppedGainFrac = info.droppedGain / info.totalGain
+	}
+	c.putScratch(sc)
+	c.stats.warmServes.Add(1)
+	return res, nil
+}
+
+func normalizeGain(gain float64, regionObjects int) float64 {
+	if regionObjects <= 0 {
+		return 0
+	}
+	return gain / float64(regionObjects)
+}
+
+// fallbackSelect is the uncached path, constructed exactly like the
+// server's direct /select handler so the results are bitwise-identical:
+// same region fetch, same Subset, same Selector configuration.
+func (c *Cache) fallbackSelect(ctx context.Context, view geodata.View, version uint64, region geo.Rect, k int, theta float64, dst []int) (Result, error) {
+	regionPos := view.Region(region)
+	objs := view.Collection().Subset(regionPos)
+	cfg := c.cfg
+	cfg.K = k
+	cfg.Theta = theta
+	cfg.ThetaFrac = 0
+	sel := &core.Selector{Config: cfg, Objects: objs}
+	res, err := sel.Run(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, p := range res.Selected {
+		dst = append(dst, regionPos[p])
+	}
+	return Result{
+		Positions:     dst,
+		Score:         res.Score,
+		Fallback:      true,
+		RegionObjects: len(regionPos),
+		Version:       version,
+	}, nil
+}
+
+// stitchRegion fetches the covering tiles and runs the repair pass into
+// sc.keptPos/keptLoc. ok = false means the viewport cannot be served
+// from tiles (objects outside the tiled unit square, a degenerate
+// cover, or a repair budget violation) and the caller must fall back.
+func (c *Cache) stitchRegion(ctx context.Context, view geodata.View, dv DirtyView, version uint64, region geo.Rect, k int, theta float64, forced []int, gset map[int32]struct{}, sc *scratch) (stitchInfo, bool, error) {
+	var info stitchInfo
+	inner, overlaps := region.Intersect(unitRect)
+	if !overlaps {
+		return info, false, nil
+	}
+	if !unitRect.ContainsRect(region) && view.CountRegion(region) != view.CountRegion(inner) {
+		// Objects outside the tiled world; only the direct path sees
+		// them.
+		return info, false, nil
+	}
+	side := region.Width()
+	if h := region.Height(); h > side {
+		side = h
+	}
+	z := zoomFor(side)
+	band := bandFor(theta, z, c.bands)
+	x0, y0, x1, y1, ok := coverRange(inner, z)
+	if !ok || int((x1-x0+1)*(y1-y0+1)) > maxStitchTiles {
+		return info, false, nil
+	}
+	sc.tiles = sc.tiles[:0]
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			key := Key{T: Tile{Z: z, X: x, Y: y}, Band: band, K: int32(k)}
+			e, hit, err := c.getTile(ctx, view, dv, version, key, sc)
+			if err != nil {
+				return info, false, err
+			}
+			if !hit {
+				info.misses++
+			}
+			sc.tiles = append(sc.tiles, e)
+		}
+	}
+	info.tiles = len(sc.tiles)
+
+	start := time.Now()
+	ok = c.stitch(sc, view.Collection().Objects, region, k, theta, forced, gset, &info)
+	c.stats.repairNs.observe(time.Since(start))
+	c.stats.repairDropped.Add(uint64(info.droppedCount))
+	return info, ok, nil
+}
+
+// stitch is the seam-repair pass: gather the cached members inside the
+// viewport, order them deterministically by (gain desc, position asc),
+// and keep greedily under the requested θ — the forced set (session
+// consistency D) is kept first, candidates outside gset (session
+// consistency G) are excluded. The pass touches only pooled scratch;
+// the steady state allocates nothing.
+//
+// ok = false reports an unsalvageable stitch: the θ-conflict drops (or
+// the G-exclusions) carry more than the configured fraction of the
+// stitched gain mass, or repair left the selection short of k while
+// dropping members — both cases where a full greedy run can do
+// materially better than the stitched approximation.
+//
+//geolint:hotpath
+func (c *Cache) stitch(sc *scratch, objs []geodata.Object, region geo.Rect, k int, theta float64, forced []int, gset map[int32]struct{}, info *stitchInfo) bool {
+	sc.members = sc.members[:0]
+	for _, e := range sc.tiles {
+		for i, p := range e.pos {
+			loc := objs[p].Loc
+			if region.Contains(loc) {
+				sc.members = append(sc.members, member{pos: p, gain: e.gains[i], loc: loc})
+			}
+		}
+	}
+	sortMembers(sc.members)
+
+	sc.keptPos = sc.keptPos[:0]
+	sc.keptLoc = sc.keptLoc[:0]
+	for _, f := range forced {
+		sc.keptPos = append(sc.keptPos, int32(f))
+		sc.keptLoc = append(sc.keptLoc, objs[f].Loc)
+	}
+	th2 := theta * theta
+	for i := range sc.members {
+		m := &sc.members[i]
+		// Boundary objects appear in two tiles' selections; the second
+		// occurrence (and any member doubling a forced object) is a
+		// duplicate, not a conflict.
+		dup := false
+		for _, p := range sc.keptPos {
+			if p == m.pos {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if gset != nil {
+			if _, in := gset[m.pos]; !in {
+				info.excludedGain += m.gain
+				continue
+			}
+		}
+		info.totalGain += m.gain
+		if len(sc.keptPos) >= k {
+			continue // K-trimmed, not a repair drop
+		}
+		separated := true
+		for _, l := range sc.keptLoc {
+			if l.Dist2(m.loc) < th2 {
+				separated = false
+				break
+			}
+		}
+		if !separated {
+			info.droppedCount++
+			info.droppedGain += m.gain
+			continue
+		}
+		sc.keptPos = append(sc.keptPos, m.pos)
+		sc.keptLoc = append(sc.keptLoc, m.loc)
+		info.keptGain += m.gain
+	}
+
+	if info.droppedGain > c.budget*info.totalGain {
+		return false
+	}
+	if info.excludedGain > c.budget*(info.totalGain+info.excludedGain) {
+		return false
+	}
+	if len(sc.keptPos) < k && info.droppedCount > 0 {
+		return false
+	}
+	if invariant.Enabled {
+		// The stitched contract: the served selection is pairwise
+		// θ-separated no matter which tiles (or θ-bands) it came from.
+		locs := sc.keptLoc
+		invariant.PairwiseSeparated(len(locs), func(i, j int) float64 {
+			return locs[i].Dist(locs[j])
+		}, theta, "tilecache: stitched selection visibility")
+	}
+	return true
+}
+
+// sortMembers orders members by gain descending, position ascending —
+// the deterministic keep order of the repair pass. Hand-rolled heapsort
+// because the hot path cannot afford sort.Slice's allocations.
+//
+//geolint:hotpath
+func sortMembers(ms []member) {
+	n := len(ms)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(ms, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		ms[0], ms[i] = ms[i], ms[0]
+		siftDown(ms, 0, i)
+	}
+}
+
+// memberBefore reports whether a precedes b in the final keep order.
+func memberBefore(a, b member) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.pos < b.pos
+}
+
+// siftDown restores the max-heap property (the heap maximum is the
+// member sorting last) for the subtree rooted at i within ms[:n].
+func siftDown(ms []member, i, n int) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && memberBefore(ms[child], ms[r]) {
+			child = r
+		}
+		if !memberBefore(ms[i], ms[child]) {
+			return
+		}
+		ms[i], ms[child] = ms[child], ms[i]
+		i = child
+	}
+}
+
+// WarmNavigate serves one session navigation from the cache under the
+// isos consistency constraints: forced (the derivation's D set) is kept
+// verbatim, and only positions in candidates (the derivation's G set;
+// nil means unconstrained) may newly appear — so a warm selection
+// satisfies isos.CheckTransition by construction. ok = false declines
+// the navigation (repair budget exceeded, heavy G-exclusion, objects
+// outside the tiled world, or an internal error): the session then runs
+// its ordinary selection; declining is never incorrect, only colder.
+//
+// On success it returns the positions (forced first), the gain-mass
+// approximate score, and the viewport object count.
+func (c *Cache) WarmNavigate(ctx context.Context, view geodata.View, version uint64, region geo.Rect, k int, theta float64, forced, candidates []int) (positions []int, score float64, regionObjects int, ok bool) {
+	if k <= 0 || theta < 0 || len(forced) > k || !region.Valid() {
+		return nil, 0, 0, false
+	}
+	dv, _ := view.(DirtyView)
+	c.sync(dv, version)
+	var gset map[int32]struct{}
+	if candidates != nil {
+		gset = make(map[int32]struct{}, len(candidates))
+		for _, p := range candidates {
+			gset[int32(p)] = struct{}{}
+		}
+	}
+	sc := c.getScratch()
+	info, ok, err := c.stitchRegion(ctx, view, dv, version, region, k, theta, forced, gset, sc)
+	if err != nil || !ok {
+		c.putScratch(sc)
+		c.stats.warmNavMisses.Add(1)
+		return nil, 0, 0, false
+	}
+	positions = make([]int, len(sc.keptPos))
+	for i, p := range sc.keptPos {
+		positions[i] = int(p)
+	}
+	c.putScratch(sc)
+	regionObjects = view.CountRegion(region)
+	c.stats.warmNavigations.Add(1)
+	return positions, normalizeGain(info.keptGain, regionObjects), regionObjects, true
+}

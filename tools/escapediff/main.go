@@ -38,6 +38,7 @@ var hotPackages = []string{
 	"./internal/prefetch",
 	"./internal/sim",
 	"./internal/textsim",
+	"./internal/tilecache",
 }
 
 func main() {
